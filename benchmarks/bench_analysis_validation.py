@@ -1,0 +1,71 @@
+"""Validation bench: closed-form speed budgets vs the full simulator.
+
+The Figs. 13/15 thresholds come out of a ~20 s closed-loop simulation;
+``repro.analysis`` predicts them from a five-line budget.  Agreement
+between the two is evidence the simulator's thresholds arise from the
+paper's stated mechanism (staleness x speed vs tolerance - residual)
+and nothing else.
+"""
+
+import numpy as np
+
+from repro.analysis import (
+    angular_speed_limit_rad_s,
+    inputs_for,
+    linear_speed_limit_m_s,
+)
+from repro.link import link_10g_diverging, link_25g
+from repro.reporting import TextTable, fmt_float
+from repro.simulate import surviving_speed_threshold
+
+
+def predictions():
+    out = {}
+    for name, design in (("10G", link_10g_diverging()),
+                         ("25G", link_25g())):
+        inputs = inputs_for(design)
+        out[name] = (linear_speed_limit_m_s(inputs),
+                     angular_speed_limit_rad_s(inputs))
+    return out
+
+
+def test_analysis_vs_simulation(benchmark, rig_10g, rig_25g,
+                                linear_run_10g, angular_run_10g,
+                                linear_run_25g, angular_run_25g):
+    predicted = benchmark(predictions)
+    t10, _ = rig_10g
+    t25, _ = rig_25g
+    simulated = {
+        "10G": (surviving_speed_threshold(
+                    linear_run_10g[0].schedule, linear_run_10g[1].windows,
+                    t10.design.sfp.optimal_throughput_gbps),
+                surviving_speed_threshold(
+                    angular_run_10g[0].schedule,
+                    angular_run_10g[1].windows,
+                    t10.design.sfp.optimal_throughput_gbps)),
+        "25G": (surviving_speed_threshold(
+                    linear_run_25g[0].schedule, linear_run_25g[1].windows,
+                    t25.design.sfp.optimal_throughput_gbps),
+                surviving_speed_threshold(
+                    angular_run_25g[0].schedule,
+                    angular_run_25g[1].windows,
+                    t25.design.sfp.optimal_throughput_gbps)),
+    }
+
+    table = TextTable(["link", "metric", "closed form", "simulated"])
+    for name in ("10G", "25G"):
+        table.add_row(name, "linear (cm/s)",
+                      fmt_float(predicted[name][0] * 100, 0),
+                      fmt_float(simulated[name][0] * 100, 0))
+        table.add_row(name, "angular (deg/s)",
+                      fmt_float(np.degrees(predicted[name][1]), 0),
+                      fmt_float(np.degrees(simulated[name][1]), 0))
+    print("\nValidation -- closed-form budget vs full simulation")
+    print(table.render())
+
+    # The two must agree within the stroke grid's resolution-ish band.
+    for name in ("10G", "25G"):
+        lin_pred, ang_pred = predicted[name]
+        lin_sim, ang_sim = simulated[name]
+        assert abs(lin_pred - lin_sim) <= 0.45 * max(lin_pred, lin_sim)
+        assert abs(ang_pred - ang_sim) <= 0.45 * max(ang_pred, ang_sim)

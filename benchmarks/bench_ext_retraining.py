@@ -1,0 +1,77 @@
+"""Extension bench: VRH-T drift and mapping-only re-training
+(Section 4's deployment story).
+
+"In case of re-deployment or VRH-T drift, the only re-training
+(calibration) that needs to be re-done is the mapping step."  The
+bench injects a realistic tracker re-anchor, shows the stale system
+fail, and times the two recovery options: the cheap mapping refit the
+paper prescribes vs redoing the full pipeline.
+"""
+
+import time
+
+import numpy as np
+
+from repro.core import point, remap
+from repro.reporting import TextTable, fmt_float
+from repro.simulate import Testbed
+
+DRIFT_TRANSLATION_M = (0.05, -0.03, 0.02)
+DRIFT_YAW_RAD = np.radians(4.0)
+
+
+def quality(testbed, system, trials=8):
+    connected = 0
+    excesses = []
+    for pose in testbed.evaluation_poses(trials):
+        command = point(system, testbed.tracker.report(pose))
+        try:
+            testbed.apply_command(command)
+        except ValueError:
+            excesses.append(60.0)
+            continue
+        state = testbed.channel.evaluate(pose)
+        connected += state.connected
+        excesses.append(testbed.design.peak_power_dbm(state.range_m)
+                        - state.received_power_dbm)
+    return connected / trials, float(np.mean(excesses))
+
+
+def drift_and_recover():
+    testbed = Testbed(seed=3)
+    t0 = time.perf_counter()
+    outcome = testbed.calibrate()
+    full_calibration_s = time.perf_counter() - t0
+    before = quality(testbed, outcome.system)
+    testbed.apply_tracker_drift(DRIFT_TRANSLATION_M, DRIFT_YAW_RAD)
+    stale = quality(testbed, outcome.system)
+    t0 = time.perf_counter()
+    fresh = testbed.collect_mapping_samples(12)
+    recovered_system = remap(outcome.system, fresh)
+    remap_s = time.perf_counter() - t0
+    recovered = quality(testbed, recovered_system)
+    return (before, stale, recovered, full_calibration_s, remap_s)
+
+
+def test_ext_retraining(benchmark):
+    before, stale, recovered, full_s, remap_s = benchmark.pedantic(
+        drift_and_recover, rounds=1, iterations=1)
+    table = TextTable(["state", "connected", "excess (dB)"])
+    table.add_row("freshly calibrated", fmt_float(before[0], 2),
+                  fmt_float(before[1], 1))
+    table.add_row("after VRH-T drift", fmt_float(stale[0], 2),
+                  fmt_float(stale[1], 1))
+    table.add_row("after mapping-only refit", fmt_float(recovered[0], 2),
+                  fmt_float(recovered[1], 1))
+    print("\nExtension -- VRH-T drift and Section 4.2-only re-training")
+    print(table.render())
+    print(f"full pipeline: {full_s:.1f} s (compute) + 266x2 board "
+          f"samples; mapping refit: {remap_s:.1f} s + 12 aligned "
+          f"samples")
+
+    # The deployment story, end to end.
+    assert before[0] == 1.0
+    assert stale[0] < 0.5
+    assert recovered[0] == 1.0
+    # And the refit is much cheaper than the full pipeline.
+    assert remap_s < full_s

@@ -1,0 +1,54 @@
+"""Fig. 11: angular tolerance vs beam diameter at RX.
+
+Paper: "RX angular tolerance peaks at 5.77 mrad at the 16 mm beam
+diameter; we thus choose this."  The printed series is the figure's
+two curves (TX and RX tolerance vs diameter).
+"""
+
+import numpy as np
+import pytest
+
+from repro.link import diameter_sweep, link_10g_diverging
+from repro.reporting import AsciiPlot, TextTable, fmt_float
+
+DIAMETERS_M = np.arange(8e-3, 33e-3, 2e-3)
+RANGE_M = 1.75
+
+
+def sweep():
+    return diameter_sweep(link_10g_diverging, DIAMETERS_M, RANGE_M)
+
+
+def test_fig11(benchmark):
+    reports = benchmark(sweep)
+
+    table = TextTable(["beam at RX (mm)", "TX tol (mrad)",
+                       "RX tol (mrad)", "peak power (dBm)"])
+    for report in reports:
+        table.add_row(fmt_float(report.beam_diameter_at_rx_m * 1e3, 1),
+                      fmt_float(report.tx_angular_tolerance_rad * 1e3),
+                      fmt_float(report.rx_angular_tolerance_rad * 1e3),
+                      fmt_float(report.peak_power_dbm, 1))
+    print("\nFig. 11 -- angular tolerance vs beam diameter at RX "
+          "(paper: RX peaks at 5.77 mrad @ 16 mm)")
+    print(table.render())
+    plot = AsciiPlot(width=56, height=10, x_label="beam at RX (mm)",
+                     y_label="RX tolerance (mrad)")
+    plot.add_series("RX tol",
+                    [r.beam_diameter_at_rx_m * 1e3 for r in reports],
+                    [r.rx_angular_tolerance_rad * 1e3 for r in reports])
+    print(plot.render())
+
+    rx = np.array([r.rx_angular_tolerance_rad for r in reports])
+    tx = np.array([r.tx_angular_tolerance_rad for r in reports])
+    peak_diameter = DIAMETERS_M[int(np.argmax(rx))]
+
+    # Shape: RX tolerance peaks at ~16 mm with ~5.77 mrad.
+    assert peak_diameter == pytest.approx(16e-3, abs=2.1e-3)
+    assert rx.max() * 1e3 == pytest.approx(5.77, rel=0.05)
+    # Rises to the peak, falls after it.
+    assert rx[0] < rx.max()
+    assert rx[-1] < rx.max()
+    # TX tolerance grows monotonically with diameter (the figure's
+    # other curve).
+    assert np.all(np.diff(tx) > 0)

@@ -1,0 +1,95 @@
+"""Fig. 15: 25G prototype throughput under pure and mixed motions.
+
+Paper: optimal (~23.5 Gbps) for pure linear speeds below 25 cm/s or
+pure angular speeds below 25 deg/s; for mixed motion, optimal below
+~15 cm/s with 15-20 deg/s.  Compared to 10G, tolerated linear speeds
+are lower while tolerated angular speeds are slightly better.
+"""
+
+import numpy as np
+
+from repro.simulate import surviving_speed_threshold
+from seriesutil import joined_series, print_speed_bins
+
+
+def test_fig15_linear(benchmark, rig_25g, linear_run_25g):
+    testbed, _ = rig_25g
+    profile, result = linear_run_25g
+    _, linear, _, throughput, power = benchmark(
+        joined_series, profile, result)
+    print_speed_bins(
+        "Fig. 15 -- 25G throughput vs pure linear speed "
+        "(paper: optimal below ~25 cm/s)",
+        linear, throughput, power, [0, 10, 20, 30, 40, 50, 60], "cm/s",
+        scale=100.0)
+    optimal = testbed.design.sfp.optimal_throughput_gbps
+    threshold = surviving_speed_threshold(profile.schedule,
+                                          result.windows, optimal)
+    print(f"tolerated linear speed: {threshold * 100:.0f} cm/s "
+          f"(paper: ~25)")
+    assert 0.15 <= threshold <= 0.46
+    slow = (linear > 0.02) & (linear < 0.16)
+    assert np.median(throughput[slow]) > 0.95 * optimal
+
+
+def test_fig15_angular(benchmark, rig_25g, angular_run_25g):
+    testbed, _ = rig_25g
+    profile, result = angular_run_25g
+    _, _, angular, throughput, power = benchmark(
+        joined_series, profile, result)
+    print_speed_bins(
+        "Fig. 15 -- 25G throughput vs pure angular speed "
+        "(paper: optimal below ~25 deg/s)",
+        angular, throughput, power, [0, 8, 12, 16, 20, 24, 28, 32],
+        "deg/s", scale=float(np.degrees(1.0)))
+    optimal = testbed.design.sfp.optimal_throughput_gbps
+    threshold = np.degrees(surviving_speed_threshold(
+        profile.schedule, result.windows, optimal))
+    print(f"tolerated angular speed: {threshold:.0f} deg/s (paper: ~25)")
+    assert 14.0 <= threshold <= 30.0
+
+
+def test_fig15_mixed(benchmark, rig_25g, arbitrary_run_25g):
+    testbed, _ = rig_25g
+    profile, result = arbitrary_run_25g
+    times, linear, angular, throughput, power = benchmark(
+        joined_series, profile, result)
+    angular_deg = np.degrees(angular)
+    print_speed_bins(
+        "Fig. 15 -- 25G under mixed motion, by angular speed "
+        "(paper: optimal to ~15-20 deg/s with ~15 cm/s)",
+        angular, throughput, power, [0, 5, 10, 15, 20, 25], "deg/s",
+        scale=float(np.degrees(1.0)))
+    optimal = testbed.design.sfp.optimal_throughput_gbps
+    calm = (linear < 0.14) & (angular_deg < 13.0)
+    assert np.median(throughput[calm]) > 0.9 * optimal
+    # The ramp's fast tail disconnects.
+    assert throughput.min() < 0.5 * optimal
+
+
+def test_fig15_vs_10g_ordering(benchmark, rig_10g, rig_25g,
+                               linear_run_10g, linear_run_25g,
+                               angular_run_10g, angular_run_25g):
+    """Table 3's cross-prototype shape: 25G tolerates lower linear
+    speed but equal-or-better angular speed than 10G."""
+    t10, _ = rig_10g
+    benchmark(lambda: None)
+    t25, _ = rig_25g
+    lin10 = surviving_speed_threshold(
+        linear_run_10g[0].schedule, linear_run_10g[1].windows,
+        t10.design.sfp.optimal_throughput_gbps)
+    lin25 = surviving_speed_threshold(
+        linear_run_25g[0].schedule, linear_run_25g[1].windows,
+        t25.design.sfp.optimal_throughput_gbps)
+    ang10 = surviving_speed_threshold(
+        angular_run_10g[0].schedule, angular_run_10g[1].windows,
+        t10.design.sfp.optimal_throughput_gbps)
+    ang25 = surviving_speed_threshold(
+        angular_run_25g[0].schedule, angular_run_25g[1].windows,
+        t25.design.sfp.optimal_throughput_gbps)
+    print(f"\nlinear: 10G {lin10 * 100:.0f} cm/s vs 25G "
+          f"{lin25 * 100:.0f} cm/s (paper: 33 vs 25)")
+    print(f"angular: 10G {np.degrees(ang10):.0f} deg/s vs 25G "
+          f"{np.degrees(ang25):.0f} deg/s (paper: 16-18 vs 25)")
+    assert lin25 <= lin10
+    assert ang25 >= ang10

@@ -1,0 +1,58 @@
+"""Table 1: collimated vs diverging link tolerances and peak power.
+
+Paper values (20 mm beam at RX, 10G link):
+
+                        Collimated   Diverging
+    TX angular tol       2.00 mrad   15.81 mrad
+    RX angular tol       2.28 mrad    5.77 mrad
+    Peak received power    15 dBm      -10 dBm
+"""
+
+import pytest
+
+from repro import constants
+from repro.link import evaluate, link_10g_collimated, link_10g_diverging
+from repro.reporting import TextTable, fmt_float
+
+
+def both_designs():
+    return (evaluate(link_10g_collimated(20e-3)),
+            evaluate(link_10g_diverging(20e-3)))
+
+
+def test_table1(benchmark):
+    collimated, diverging = benchmark(both_designs)
+
+    table = TextTable(["metric", "collimated", "diverging",
+                       "paper (col/div)"])
+    table.add_row("TX angular tol (mrad)",
+                  fmt_float(collimated.tx_angular_tolerance_rad * 1e3),
+                  fmt_float(diverging.tx_angular_tolerance_rad * 1e3),
+                  "2.00 / 15.81")
+    table.add_row("RX angular tol (mrad)",
+                  fmt_float(collimated.rx_angular_tolerance_rad * 1e3),
+                  fmt_float(diverging.rx_angular_tolerance_rad * 1e3),
+                  "2.28 / 5.77")
+    table.add_row("peak power (dBm)",
+                  fmt_float(collimated.peak_power_dbm),
+                  fmt_float(diverging.peak_power_dbm),
+                  "15 / -10")
+    print("\nTable 1 -- link movement tolerance (20 mm beam at RX)")
+    print(table.render())
+
+    # Absolute anchors (these are calibration points, so they're tight).
+    assert collimated.tx_angular_tolerance_rad * 1e3 == pytest.approx(
+        constants.COLLIMATED_TX_TOLERANCE_MRAD, rel=0.1)
+    assert collimated.rx_angular_tolerance_rad * 1e3 == pytest.approx(
+        constants.COLLIMATED_RX_TOLERANCE_MRAD, rel=0.1)
+    assert diverging.tx_angular_tolerance_rad * 1e3 == pytest.approx(
+        constants.DIVERGING_20MM_TX_TOLERANCE_MRAD, rel=0.1)
+    assert diverging.rx_angular_tolerance_rad * 1e3 == pytest.approx(
+        constants.DIVERGING_20MM_RX_TOLERANCE_MRAD, rel=0.1)
+    # The trade-off's shape: diverging wins tolerance by >2x on both
+    # axes; collimated wins power by >20 dB.
+    assert (diverging.tx_angular_tolerance_rad
+            > 2 * collimated.tx_angular_tolerance_rad)
+    assert (diverging.rx_angular_tolerance_rad
+            > 2 * collimated.rx_angular_tolerance_rad)
+    assert collimated.peak_power_dbm - diverging.peak_power_dbm > 20.0

@@ -1,0 +1,84 @@
+"""Table 3: summary of requirements vs tolerated speeds.
+
+Paper:
+
+                  Reqs.   10G pure   10G mixed   25G pure   25G mixed
+    Linear (cm/s)   14       33         30          25        15
+    Angular (deg/s) 19     16-18        16          25       15-20
+"""
+
+import numpy as np
+
+from repro import constants
+from repro.simulate import surviving_speed_threshold
+from repro.reporting import TextTable
+from seriesutil import joined_series
+
+
+def mixed_tolerated(profile, result, optimal):
+    """Highest simultaneous speeds with optimal throughput.
+
+    Reads the hand-held ramp: the largest linear/angular window speeds
+    seen strictly before the first sub-optimal window.
+    """
+    times, linear, angular, throughput, _ = joined_series(profile,
+                                                          result)
+    below = np.flatnonzero(throughput < 0.9 * optimal)
+    end = below[0] if below.size else len(throughput)
+    if end == 0:
+        return 0.0, 0.0
+    return float(linear[:end].max()), float(angular[:end].max())
+
+
+def test_table3_summary(benchmark, rig_10g, rig_25g, linear_run_10g,
+                        angular_run_10g, arbitrary_run_10g,
+                        linear_run_25g, angular_run_25g,
+                        arbitrary_run_25g):
+    t10, _ = rig_10g
+    t25, _ = rig_25g
+    opt10 = t10.design.sfp.optimal_throughput_gbps
+    opt25 = t25.design.sfp.optimal_throughput_gbps
+
+    lin10 = surviving_speed_threshold(
+        linear_run_10g[0].schedule, linear_run_10g[1].windows, opt10)
+    ang10 = surviving_speed_threshold(
+        angular_run_10g[0].schedule, angular_run_10g[1].windows, opt10)
+    lin25 = surviving_speed_threshold(
+        linear_run_25g[0].schedule, linear_run_25g[1].windows, opt25)
+    ang25 = surviving_speed_threshold(
+        angular_run_25g[0].schedule, angular_run_25g[1].windows, opt25)
+    mixed10 = benchmark.pedantic(
+        mixed_tolerated, args=(arbitrary_run_10g[0],
+                               arbitrary_run_10g[1], opt10),
+        rounds=1, iterations=1)
+    mixed25 = mixed_tolerated(arbitrary_run_25g[0],
+                              arbitrary_run_25g[1], opt25)
+
+    table = TextTable(["speed", "req.", "10G pure", "10G mixed",
+                       "25G pure", "25G mixed", "paper 10G/25G pure"])
+    table.add_row("linear (cm/s)", "14",
+                  f"{lin10 * 100:.0f}", f"{mixed10[0] * 100:.0f}",
+                  f"{lin25 * 100:.0f}", f"{mixed25[0] * 100:.0f}",
+                  "33 / 25")
+    table.add_row("angular (deg/s)", "19",
+                  f"{np.degrees(ang10):.0f}",
+                  f"{np.degrees(mixed10[1]):.0f}",
+                  f"{np.degrees(ang25):.0f}",
+                  f"{np.degrees(mixed25[1]):.0f}",
+                  "16-18 / 25")
+    print("\nTable 3 -- requirement vs tolerated speeds")
+    print(table.render())
+
+    # Shape assertions.
+    # Every pure tolerated linear speed beats the 14 cm/s requirement.
+    assert lin10 * 100 >= constants.REQUIRED_LINEAR_SPEED_M_S * 100
+    assert lin25 * 100 >= constants.REQUIRED_LINEAR_SPEED_M_S * 100
+    # Pure angular speeds land near the 19 deg/s requirement.
+    assert np.degrees(ang10) >= 10.0
+    assert np.degrees(ang25) >= 14.0
+    # Mixed tolerances do not exceed pure ones (10G; the same motion
+    # spends the same budget on two axes at once).
+    assert mixed10[0] <= lin10 + 0.05
+    # 25G vs 10G ordering as in the paper's summary.
+    assert lin25 <= lin10
+    assert ang25 >= ang10

@@ -1,0 +1,100 @@
+"""Shared fixtures for the benchmark harness.
+
+Each bench regenerates one of the paper's tables or figures.  The
+expensive artifacts -- calibrated testbeds and closed-loop session runs
+-- are session-scoped so Fig. 13/14/15 and Table 3 share them.
+"""
+
+import numpy as np
+import pytest
+
+from repro.link import link_25g
+from repro.motion import HandheldProfile, LinearRail, RotationStage
+from repro.simulate import PrototypeSession, Testbed
+
+#: Stroke-speed grids for the Fig. 13/15 ramps.
+LINEAR_SPEEDS_M_S = [0.15, 0.22, 0.30, 0.38, 0.46, 0.55]
+ANGULAR_SPEEDS_DEG_S = [8.0, 12.0, 16.0, 20.0, 24.0, 28.0]
+
+
+@pytest.fixture(scope="session")
+def rig_10g():
+    """Calibrated 10G prototype (bench geometry, 16 mm beam)."""
+    testbed = Testbed(seed=3)
+    outcome = testbed.calibrate()
+    return testbed, PrototypeSession(testbed, outcome.system)
+
+
+@pytest.fixture(scope="session")
+def rig_25g():
+    """Calibrated 25G prototype."""
+    testbed = Testbed(design=link_25g(), seed=5)
+    outcome = testbed.calibrate()
+    return testbed, PrototypeSession(testbed, outcome.system)
+
+
+def linear_profile(testbed, speeds):
+    rail = LinearRail(axis=[1.0, 0.0, 0.0], length_m=0.3)
+    return rail.stroke_profile(testbed.home_pose, speeds)
+
+
+def angular_profile(testbed, speeds_deg):
+    stage = RotationStage(axis=[0.0, 0.0, 1.0],
+                          range_rad=np.radians(20.0))
+    return stage.stroke_profile(testbed.home_pose,
+                                [np.radians(s) for s in speeds_deg])
+
+
+def handheld_profile(testbed, peak_linear, peak_angular_deg,
+                     duration_s=40.0, seed=11):
+    return HandheldProfile(base_pose=testbed.home_pose,
+                           peak_linear_m_s=peak_linear,
+                           peak_angular_rad_s=np.radians(
+                               peak_angular_deg),
+                           duration_s=duration_s, seed=seed)
+
+
+@pytest.fixture(scope="session")
+def linear_run_10g(rig_10g):
+    testbed, session = rig_10g
+    profile = linear_profile(testbed, LINEAR_SPEEDS_M_S)
+    return profile, session.run(profile)
+
+
+@pytest.fixture(scope="session")
+def angular_run_10g(rig_10g):
+    testbed, session = rig_10g
+    profile = angular_profile(testbed, ANGULAR_SPEEDS_DEG_S)
+    return profile, session.run(profile)
+
+
+@pytest.fixture(scope="session")
+def arbitrary_run_10g(rig_10g):
+    testbed, session = rig_10g
+    profile = handheld_profile(testbed, peak_linear=0.45,
+                               peak_angular_deg=28.0)
+    return profile, session.run(profile)
+
+
+@pytest.fixture(scope="session")
+def linear_run_25g(rig_25g):
+    testbed, session = rig_25g
+    profile = linear_profile(testbed, LINEAR_SPEEDS_M_S)
+    return profile, session.run(profile)
+
+
+@pytest.fixture(scope="session")
+def angular_run_25g(rig_25g):
+    testbed, session = rig_25g
+    profile = angular_profile(testbed, ANGULAR_SPEEDS_DEG_S)
+    return profile, session.run(profile)
+
+
+@pytest.fixture(scope="session")
+def arbitrary_run_25g(rig_25g):
+    testbed, session = rig_25g
+    # The ramp must end well past the 25G link's mixed tolerance
+    # (~15-20 deg/s with ~15 cm/s) so the collapse is visible.
+    profile = handheld_profile(testbed, peak_linear=0.40,
+                               peak_angular_deg=50.0, seed=13)
+    return profile, session.run(profile)

@@ -1,0 +1,49 @@
+"""Shared helpers for the Fig. 13/14/15 throughput-vs-speed benches."""
+
+import numpy as np
+
+from repro.motion import measure_profile
+from repro.reporting import TextTable, fmt_float
+
+
+def joined_series(profile, result, window_s=0.05):
+    """Align per-window speeds with per-window throughput and power.
+
+    Returns parallel arrays (times, linear m/s, angular rad/s,
+    throughput Gbps, min power dBm per window).
+    """
+    speeds = measure_profile(profile, window_s=window_s,
+                             duration_s=result.sample_times_s[-1])
+    n = min(len(speeds.times_s), len(result.windows))
+    throughput = np.array(
+        [w.throughput_gbps for w in result.windows[:n]])
+    power = np.empty(n)
+    samples_per_window = max(
+        int(round(window_s / (result.sample_times_s[1]
+                              - result.sample_times_s[0]))), 1)
+    for i in range(n):
+        lo = i * samples_per_window
+        hi = min(lo + samples_per_window, len(result.power_dbm))
+        power[i] = result.power_dbm[lo:hi].min() if hi > lo else np.nan
+    return (speeds.times_s[:n], speeds.linear_m_s[:n],
+            speeds.angular_rad_s[:n], throughput, power)
+
+
+def print_speed_bins(label, speed_values, throughput, power,
+                     bins, unit, scale=1.0):
+    """Summarize throughput/power by speed bin, like reading the
+    figure's scatter off its axes."""
+    table = TextTable([f"speed ({unit})", "windows",
+                       "median tput (Gbps)", "min tput (Gbps)",
+                       "min power (dBm)"])
+    for lo, hi in zip(bins[:-1], bins[1:]):
+        mask = (speed_values * scale >= lo) & (speed_values * scale < hi)
+        if not np.any(mask):
+            continue
+        table.add_row(f"{lo:g}-{hi:g}",
+                      str(int(mask.sum())),
+                      fmt_float(float(np.median(throughput[mask])), 1),
+                      fmt_float(float(throughput[mask].min()), 1),
+                      fmt_float(float(np.nanmin(power[mask])), 1))
+    print(f"\n{label}")
+    print(table.render())

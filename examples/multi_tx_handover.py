@@ -1,0 +1,54 @@
+"""Multi-transmitter handover demo (the Section 3 extension).
+
+Two ceiling TXs cover the play area; a person walks through the first
+beam for 1.5 seconds.  With handover the link rides out the occlusion
+on the second TX; without it the session goes dark::
+
+    python examples/multi_tx_handover.py
+"""
+
+from repro.motion import StaticProfile
+from repro.reporting import TextTable, fmt_float
+from repro.simulate import HandoverController, MultiTxRig, OcclusionEvent
+
+
+def run(use_handover: bool):
+    rig = MultiTxRig(tx_count=2, seed=7)
+    profile = StaticProfile(rig.testbed.home_pose, duration_s=5.0)
+    occlusions = [OcclusionEvent(tx_index=0, start_s=1.5, end_s=3.0)]
+    controller = HandoverController(rig, use_handover=use_handover)
+    return controller.run(profile, occlusions)
+
+
+def main():
+    print("Simulating a 5 s session; TX 0's beam is blocked from "
+          "t=1.5 s to t=3.0 s...\n")
+    with_handover = run(use_handover=True)
+    without = run(use_handover=False)
+
+    table = TextTable(["configuration", "uptime (%)", "handovers"])
+    table.add_row("two TXs + handover",
+                  fmt_float(with_handover.uptime_fraction * 100, 1),
+                  str(with_handover.handovers))
+    table.add_row("single-TX behaviour",
+                  fmt_float(without.uptime_fraction * 100, 1),
+                  str(without.handovers))
+    print(table.render())
+
+    switched_at = None
+    for t, tx in zip(with_handover.sample_times_s,
+                     with_handover.active_tx):
+        if tx != 0:
+            switched_at = t
+            break
+    if switched_at is not None:
+        print(f"\nThe controller handed the link to TX 1 at "
+              f"t={switched_at:.3f} s, within milliseconds of the "
+              f"blockage.")
+    print("This is Section 3's occlusion answer: multiple TXs with "
+          "handover,\nbounded by the RX galvo's coverage cone (which "
+          "caps TX spacing).")
+
+
+if __name__ == "__main__":
+    main()

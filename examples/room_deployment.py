@@ -1,0 +1,74 @@
+"""Plan a home deployment: coverage, redundancy, safety, streaming.
+
+Walks the questions a Cyclops install raises beyond the paper's bench
+prototype: how many ceiling TXs does a play space need, how much of
+it gets handover-capable redundancy, is the launch eye-safe, and what
+content fits the resulting link::
+
+    python examples/room_deployment.py
+"""
+
+import math
+
+from repro.link import link_10g_diverging, link_25g
+from repro.optics import assess_design
+from repro.plan import CoverageConstraints, Room, plan_greedy, service_radius_m
+from repro.reporting import TextTable, fmt_float
+from repro.stream import CATALOGUE
+
+
+def coverage_section(room):
+    print(f"Room: {room.width_m:.1f} x {room.depth_m:.1f} m, ceiling "
+          f"{room.ceiling_height_m:.1f} m, head {room.head_height_m:.1f} m")
+    constraints = CoverageConstraints()
+    radius = service_radius_m(room, constraints)
+    print(f"One ceiling TX serves a {radius:.2f} m radius "
+          f"(GM cone {math.degrees(constraints.cone_half_angle_rad):.0f} deg, "
+          f"range <= {constraints.max_range_m:.1f} m)\n")
+    plan = plan_greedy(room, constraints, target_fraction=0.95,
+                       resolution_m=0.2)
+    print(f"Greedy plan: {len(plan.tx_positions)} TXs -> "
+          f"{plan.coverage_fraction(0.2) * 100:.0f} % coverage, "
+          f"{plan.redundancy_fraction(0.2) * 100:.0f} % with >=2 TXs "
+          f"(handover-capable)")
+    table = TextTable(["TX", "x (m)", "y (m)"])
+    for i, (x, y) in enumerate(plan.tx_positions):
+        table.add_row(str(i), fmt_float(x, 2), fmt_float(y, 2))
+    print(table.render())
+    return plan
+
+
+def safety_section():
+    print("\nEye safety (IEC 60825-1 Class 1, approximate):")
+    table = TextTable(["design", "launched (dBm)", "limit (mW)",
+                       "hazard distance (m)", "safe at 1.75 m"])
+    for design in (link_10g_diverging(), link_25g()):
+        report = assess_design(design)
+        table.add_row(design.name,
+                      fmt_float(report.launched_power_dbm, 1),
+                      fmt_float(report.class1_limit_mw, 1),
+                      fmt_float(report.hazard_distance_m, 2),
+                      "yes" if report.safe_at_link_range else "NO")
+    print(table.render())
+
+
+def content_section():
+    print("\nWhat the links carry raw:")
+    table = TextTable(["format", "raw Gbps", "10G", "25G"])
+    for fmt in CATALOGUE:
+        table.add_row(fmt.name.split(" (")[0],
+                      fmt_float(fmt.raw_bitrate_gbps, 1),
+                      "yes" if fmt.fits_raw(9.4) else "no",
+                      "yes" if fmt.fits_raw(23.5) else "no")
+    print(table.render())
+
+
+def main():
+    room = Room(width_m=3.0, depth_m=2.5)
+    coverage_section(room)
+    safety_section()
+    content_section()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,19 @@
+"""Closed-form analysis: tolerated-speed budgets and predictions."""
+
+from .thresholds import (
+    BudgetInputs,
+    angular_speed_limit_rad_s,
+    default_staleness_s,
+    inputs_for,
+    linear_speed_limit_m_s,
+    mixed_speed_feasible,
+)
+
+__all__ = [
+    "BudgetInputs",
+    "angular_speed_limit_rad_s",
+    "default_staleness_s",
+    "inputs_for",
+    "linear_speed_limit_m_s",
+    "mixed_speed_feasible",
+]

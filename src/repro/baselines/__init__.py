@@ -1,0 +1,17 @@
+"""Comparison points and ablations the paper argues against."""
+
+from .constant_origin import ConstantOriginModel
+from .direct_inverse import DirectInverseRegressor
+from .lookup import LookupFeasibility
+from .probe_tp import ProbeRunResult, ProbeTracker
+from .static import StaticRunResult, run_static
+
+__all__ = [
+    "ConstantOriginModel",
+    "DirectInverseRegressor",
+    "LookupFeasibility",
+    "ProbeRunResult",
+    "ProbeTracker",
+    "StaticRunResult",
+    "run_static",
+]

@@ -1,0 +1,50 @@
+"""Ablation: modelling the beam origin ``p`` as voltage-independent.
+
+Footnote 6: "In simpler applications with limited range of motions, p
+may be assumed to be a constant as in [32, 33], but in reality it
+depends on the voltages -- this dependence results in distortion [58]
+and needs to be considered for high accuracy."
+
+:class:`ConstantOriginModel` wraps a full GMA model but pins the
+originating point at its rest value, so the ablation bench can measure
+exactly how much accuracy the simplification costs across the steering
+cone.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.gma import GmaModel
+from ..geometry import Plane, Ray
+
+
+@dataclass(frozen=True)
+class ConstantOriginModel:
+    """A GMA model whose beams all emanate from the rest-voltage origin."""
+
+    full_model: GmaModel
+
+    def __post_init__(self):
+        rest = self.full_model.beam(0.0, 0.0)
+        object.__setattr__(self, "_origin", rest.origin)
+
+    @property
+    def origin(self) -> np.ndarray:
+        """The frozen originating point."""
+        return self._origin
+
+    def beam(self, v1: float, v2: float) -> Ray:
+        """Direction from the full model, origin pinned at rest."""
+        direction = self.full_model.beam(v1, v2).direction
+        return Ray(self._origin, direction)
+
+    def board_error_m(self, v1: float, v2: float, board: Plane) -> float:
+        """Board-hit discrepancy vs the full (distortion-aware) model."""
+        full_hit = board.intersect_ray(self.full_model.beam(v1, v2),
+                                       forward_only=False)
+        const_hit = board.intersect_ray(self.beam(v1, v2),
+                                        forward_only=False)
+        return float(np.linalg.norm(full_hit - const_hit))

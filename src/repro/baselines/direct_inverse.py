@@ -1,0 +1,64 @@
+"""Baseline: directly regressing the reverse function ``G'``.
+
+Footnote 3 (and 7) of the paper: "In our experiments, we tried to learn
+the much simpler function G' directly, but even several hundred
+training samples yielded an error of a few cms."  The failure mode is
+generalization: samples can only be gathered where a target surface
+exists (the calibration board), and a black-box regressor learns
+nothing about how voltages should change with target *depth* -- whereas
+the physical model ``G`` extrapolates anywhere by construction.
+
+This module implements that baseline faithfully: polynomial regression
+from target coordinates to voltages, trained on board samples, so the
+ablation bench can show mm-level on-board accuracy collapsing to cm off
+the board plane.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+def _features(points: np.ndarray, degree: int) -> np.ndarray:
+    """Full polynomial feature expansion of 3D points up to ``degree``."""
+    pts = np.atleast_2d(np.asarray(points, dtype=float))
+    if pts.shape[1] != 3:
+        raise ValueError("expected (n, 3) target points")
+    columns = [np.ones(len(pts))]
+    for total in range(1, degree + 1):
+        for i in range(total + 1):
+            for j in range(total - i + 1):
+                k = total - i - j
+                columns.append(pts[:, 0] ** i * pts[:, 1] ** j
+                               * pts[:, 2] ** k)
+    return np.column_stack(columns)
+
+
+@dataclass
+class DirectInverseRegressor:
+    """Least-squares polynomial fit of ``(x, y, z) -> (v1, v2)``."""
+
+    degree: int = 3
+
+    def __post_init__(self):
+        if self.degree < 1:
+            raise ValueError("polynomial degree must be at least 1")
+        self._coefficients = None
+
+    def fit(self, targets: np.ndarray, voltages: np.ndarray
+            ) -> "DirectInverseRegressor":
+        """Fit from (n, 3) target points and (n, 2) voltage pairs."""
+        design = _features(targets, self.degree)
+        volts = np.asarray(voltages, dtype=float)
+        if volts.shape != (len(design), 2):
+            raise ValueError("voltages must be (n, 2), matching targets")
+        self._coefficients, *_ = np.linalg.lstsq(design, volts, rcond=None)
+        return self
+
+    def predict(self, targets: np.ndarray) -> np.ndarray:
+        """Predicted (n, 2) voltages for target points."""
+        if self._coefficients is None:
+            raise RuntimeError("regressor is not fitted")
+        return _features(targets, self.degree) @ self._coefficients

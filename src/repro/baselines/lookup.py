@@ -1,0 +1,58 @@
+"""Baseline: tabulating or directly learning ``P`` (footnotes 3 and 5).
+
+The paper dismisses two "obvious" alternatives with a back-of-envelope
+argument this module makes executable:
+
+* precomputing ``P`` for every VRH position and looking it up at run
+  time -- "not feasible due to the large number (~10^18 in a m^3
+  space) of VRH positions required for mm-level accuracy";
+* learning ``P`` directly from aligned samples -- each sample costs
+  minutes of exhaustive search, so the needed corpus "can take years".
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+SECONDS_PER_YEAR = 365.25 * 24 * 3600.0
+
+
+@dataclass(frozen=True)
+class LookupFeasibility:
+    """Cost model for a lookup-table / direct-learning ``P``."""
+
+    volume_m3: float = 1.0
+    position_resolution_m: float = 1e-3
+    orientation_range_rad: float = math.pi  # +/- 90 degrees per axis
+    orientation_resolution_rad: float = 1e-3
+    seconds_per_sample: float = 90.0  # exhaustive search takes 1-2 min
+
+    def position_cells(self) -> float:
+        """Number of distinguishable locations."""
+        return self.volume_m3 / self.position_resolution_m ** 3
+
+    def orientation_cells(self) -> float:
+        """Number of distinguishable orientations (3 axes)."""
+        per_axis = self.orientation_range_rad / \
+            self.orientation_resolution_rad
+        return per_axis ** 3
+
+    def table_entries(self) -> float:
+        """Full domain size of ``P`` at this resolution.
+
+        With the defaults this lands around 10^18, matching the
+        paper's footnote 5 estimate.
+        """
+        return self.position_cells() * self.orientation_cells()
+
+    def collection_years(self, samples: float = None) -> float:
+        """Wall-clock years to gather ``samples`` aligned tuples.
+
+        Defaults to the full table; pass a smaller corpus to price
+        direct function approximation instead (footnote 3's "tens of
+        thousands or many magnitudes more").
+        """
+        if samples is None:
+            samples = self.table_entries()
+        return samples * self.seconds_per_sample / SECONDS_PER_YEAR

@@ -1,0 +1,78 @@
+"""Cyclops's contribution: the learned tracking-and-pointing pipeline.
+
+Sub-modules map one-to-one onto Section 4 of the paper:
+
+* :mod:`gma` -- the parameterized GMA model ``G`` (4.1-A);
+* :mod:`kspace` -- board calibration and the K-space fit (4.1-B);
+* :mod:`mapping` -- the 12-parameter VR-space mapping fit (4.2);
+* :mod:`inverse` -- the iterative reverse model ``G'`` (4.3);
+* :mod:`pointing` -- the real-time pointing mechanism ``P`` (4.3);
+* :mod:`alignment` -- the exhaustive power-search training oracle;
+* :mod:`lemma` -- numerical Lemma 1 checks;
+* :mod:`errors` -- Table 2 accuracy metrics;
+* :mod:`system` -- the assembled learned system ``P`` consumes.
+"""
+
+from .alignment import AlignmentResult, search
+from .errors import ErrorSummary, beam_error_m, summarize
+from .gma import GmaModel, board_hits, trace_batch
+from .inverse import (
+    DEFAULT_VOLTAGE_STEP_V,
+    InverseDivergedError,
+    InverseResult,
+)
+from .inverse import solve as solve_inverse
+from .kspace import (
+    BOARD_PLANE,
+    BoardRig,
+    BoardSample,
+    evaluate_fit,
+    fit_gma,
+    interior_grid_points,
+)
+from .lemma import LemmaCheck, rank_agreement, sweep
+from .mapping import (
+    AlignedSample,
+    coincidence_error_m,
+    coincidence_residuals,
+    fit_mapping,
+    mean_coincidence_error_m,
+)
+from .pointing import PointingCommand, PointingDivergedError, point
+from .retraining import DriftMonitor, remap
+from .system import LearnedSystem
+
+__all__ = [
+    "AlignedSample",
+    "AlignmentResult",
+    "BOARD_PLANE",
+    "BoardRig",
+    "BoardSample",
+    "DriftMonitor",
+    "DEFAULT_VOLTAGE_STEP_V",
+    "ErrorSummary",
+    "GmaModel",
+    "InverseDivergedError",
+    "InverseResult",
+    "LearnedSystem",
+    "LemmaCheck",
+    "PointingCommand",
+    "PointingDivergedError",
+    "beam_error_m",
+    "board_hits",
+    "coincidence_error_m",
+    "coincidence_residuals",
+    "evaluate_fit",
+    "fit_gma",
+    "fit_mapping",
+    "interior_grid_points",
+    "mean_coincidence_error_m",
+    "point",
+    "rank_agreement",
+    "remap",
+    "search",
+    "solve_inverse",
+    "summarize",
+    "sweep",
+    "trace_batch",
+]

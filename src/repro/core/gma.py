@@ -1,0 +1,124 @@
+"""The learnable GMA model ``G`` (Section 4.1-A).
+
+``G(v1, v2) -> (p, x)`` maps the two galvo voltages to the output
+beam's originating point and direction.  The parameterized expression
+itself lives in :func:`repro.galvo.mirror.trace`; this module adds:
+
+* :class:`GmaModel` -- a thin, frame-aware wrapper the pointing
+  algorithms use;
+* :func:`trace_batch` -- a fully vectorized evaluation of ``G`` over
+  many voltage pairs at once, which the least-squares fits call inside
+  their residual functions (the scalar path would be ~100x slower);
+* :func:`board_hits` -- the ``f(G(v1, v2))`` composition of Section
+  4.1-B: where the beams land on the calibration board.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..galvo import GmaParams, mirror_planes, trace
+from ..geometry import Plane, Ray, RigidTransform
+
+
+@dataclass(frozen=True)
+class GmaModel:
+    """A learned (or hypothesized) GMA model in a particular frame."""
+
+    params: GmaParams
+
+    def beam(self, v1: float, v2: float) -> Ray:
+        """Evaluate ``G(v1, v2)``: the predicted output beam."""
+        return trace(self.params, v1, v2)
+
+    def second_mirror_plane(self, v1: float, v2: float) -> Plane:
+        """The predicted second-mirror plane at these voltages."""
+        return mirror_planes(self.params, self.params.theta1 * v1,
+                             self.params.theta1 * v2)[1]
+
+    def transformed(self, transform: RigidTransform) -> "GmaModel":
+        """The same model expressed in another coordinate frame."""
+        return GmaModel(self.params.transformed(transform))
+
+
+def _rotate_about(axis: np.ndarray, angles: np.ndarray,
+                  vector: np.ndarray) -> np.ndarray:
+    """Rodrigues rotation of one vector by many angles (vectorized).
+
+    ``axis`` and ``vector`` are (3,); ``angles`` is (n,).  Returns
+    (n, 3): ``vector`` rotated by each angle about ``axis``.
+    """
+    cos = np.cos(angles)[:, None]
+    sin = np.sin(angles)[:, None]
+    axis_cross = np.cross(axis, vector)
+    axis_dot = float(np.dot(axis, vector))
+    return (cos * vector + sin * axis_cross
+            + (1.0 - cos) * axis_dot * axis)
+
+
+def _reflect_batch(origins: np.ndarray, directions: np.ndarray,
+                   normals: np.ndarray, pivot: np.ndarray) -> tuple:
+    """Reflect n beams off n mirror planes sharing one pivot point.
+
+    Returns ``(strike_points, reflected_directions)``, each (n, 3).
+    Rays parallel to their mirror produce non-finite strike points,
+    which the fit's residuals turn into large errors (as they should).
+    """
+    denom = np.einsum("ij,ij->i", directions, normals)
+    # Avoid a divide-by-zero warning; the result is inf/nan anyway and
+    # the caller treats non-finite hits as unusable.
+    safe = np.where(np.abs(denom) < 1e-300, np.nan, denom)
+    offsets = pivot[None, :] - origins
+    t = np.einsum("ij,ij->i", offsets, normals) / safe
+    strikes = origins + t[:, None] * directions
+    reflected = directions - 2.0 * denom[:, None] * normals
+    return strikes, reflected
+
+
+def trace_batch(vector: np.ndarray, v1: np.ndarray,
+                v2: np.ndarray) -> tuple:
+    """Vectorized ``G`` over many voltage pairs.
+
+    ``vector`` is the 25-parameter encoding of
+    :meth:`repro.galvo.GmaParams.to_vector`; ``v1``/``v2`` are (n,)
+    voltage arrays.  Returns ``(origins, directions)``, each (n, 3).
+    Unlike the scalar path, no normalization or validation is applied:
+    the optimizer is free to wander through slightly non-unit normals,
+    and the residuals stay smooth.
+    """
+    vec = np.asarray(vector, dtype=float)
+    v1 = np.asarray(v1, dtype=float)
+    v2 = np.asarray(v2, dtype=float)
+    p0, x0 = vec[0:3], vec[3:6]
+    n1, q1, r1 = vec[6:9], vec[9:12], vec[12:15]
+    n2, q2, r2 = vec[15:18], vec[18:21], vec[21:24]
+    theta1 = vec[24]
+
+    def unit(v):
+        return v / np.linalg.norm(v)
+
+    x0 = unit(x0)
+    normals1 = _rotate_about(unit(r1), theta1 * v1, unit(n1))
+    normals2 = _rotate_about(unit(r2), theta1 * v2, unit(n2))
+    n = len(v1)
+    origins = np.broadcast_to(p0, (n, 3))
+    directions = np.broadcast_to(x0, (n, 3))
+    mid_points, mid_dirs = _reflect_batch(origins, directions, normals1, q1)
+    return _reflect_batch(mid_points, mid_dirs, normals2, q2)
+
+
+def board_hits(vector: np.ndarray, v1: np.ndarray, v2: np.ndarray,
+               board: Plane) -> np.ndarray:
+    """Where the modelled beams land on the calibration board.
+
+    Returns (n, 3) world points; beams that never reach the board
+    yield non-finite coordinates.
+    """
+    origins, directions = trace_batch(vector, v1, v2)
+    denom = directions @ board.normal
+    safe = np.where(np.abs(denom) < 1e-300, np.nan, denom)
+    offsets = board.point[None, :] - origins
+    t = (offsets @ board.normal) / safe
+    return origins + t[:, None] * directions

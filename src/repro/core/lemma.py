@@ -1,0 +1,62 @@
+"""Numerical checks of Lemma 1.
+
+Lemma 1 is the keystone of Cyclops: the GM configuration maximizing
+received power is the one making ``p_t`` coincide with ``tau_r`` and
+``p_r`` with ``tau_t``.  The whole pointing design (Sections 4.2-4.3)
+rests on it.  These helpers verify the claim against the simulated
+physics and are used by both tests and the ablation benches.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class LemmaCheck:
+    """Outcome of one coincidence-vs-power comparison."""
+
+    coincidence_error_m: float
+    received_power_dbm: float
+
+
+def sweep(power_fn: Callable[..., float],
+          coincidence_fn: Callable[..., float],
+          voltage_sets: Sequence[Sequence[float]]) -> list:
+    """Evaluate power and coincidence error over voltage settings.
+
+    ``power_fn`` and ``coincidence_fn`` both take the four voltages.
+    Returns a list of :class:`LemmaCheck`; callers assert that the
+    power-maximizing entry also (nearly) minimizes the coincidence
+    error, and that the relationship is monotone in the small-error
+    regime.
+    """
+    checks = []
+    for voltages in voltage_sets:
+        checks.append(LemmaCheck(
+            coincidence_error_m=coincidence_fn(*voltages),
+            received_power_dbm=power_fn(*voltages)))
+    return checks
+
+
+def rank_agreement(checks: Sequence[LemmaCheck]) -> float:
+    """Spearman-style agreement between power and -coincidence error.
+
+    Returns a correlation in [-1, 1]; Lemma 1 predicts a value near +1
+    (higher power goes with smaller coincidence error).
+    """
+    if len(checks) < 3:
+        raise ValueError("need at least 3 checks to rank")
+    errors = np.array([c.coincidence_error_m for c in checks])
+    powers = np.array([c.received_power_dbm for c in checks])
+    error_ranks = np.argsort(np.argsort(-errors)).astype(float)
+    power_ranks = np.argsort(np.argsort(powers)).astype(float)
+    error_ranks -= error_ranks.mean()
+    power_ranks -= power_ranks.mean()
+    denom = float(np.linalg.norm(error_ranks) * np.linalg.norm(power_ranks))
+    if denom == 0.0:
+        return 0.0
+    return float(np.dot(error_ranks, power_ranks) / denom)

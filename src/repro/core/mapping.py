@@ -1,0 +1,105 @@
+"""Joint learning of the 12 K-space-to-VR-space mapping parameters
+(Section 4.2).
+
+Training data: 5-tuples ``(v1, v2, v3, v4, psi)`` where ``psi`` is the
+VRH-T-reported headset pose and the four voltages come from an
+exhaustive power-maximizing alignment search at that pose.  Lemma 1
+says such an alignment makes the TX beam's strike point on the RX
+mirror coincide with the RX beam's origin, and vice versa -- so the
+error function sums ``d(p_t, tau_r) + d(p_r, tau_t)`` over all samples,
+evaluated under the *candidate* mapping parameters, and non-linear
+least squares drives it toward zero.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+import numpy as np
+from scipy.optimize import least_squares
+
+from ..geometry import NoIntersectionError
+from ..vrh import Pose
+from .gma import GmaModel
+from .system import LearnedSystem
+
+#: Residual assigned when a candidate geometry misses a mirror plane.
+MISS_PENALTY_M = 10.0
+
+
+@dataclass(frozen=True)
+class AlignedSample:
+    """One Section 4.2 training tuple: aligned voltages + reported pose."""
+
+    v_tx1: float
+    v_tx2: float
+    v_rx1: float
+    v_rx2: float
+    reported_pose: Pose
+
+
+def coincidence_residuals(system: LearnedSystem,
+                          sample: AlignedSample) -> np.ndarray:
+    """The 6-vector ``(p_t - tau_r, p_r - tau_t)`` for one sample.
+
+    All quantities are evaluated from the candidate *models* in
+    VR-space -- nothing physical is consulted; the physics already
+    spoke through the aligned voltages.
+    """
+    tx = system.tx_model_vr
+    rx = system.rx_model_vr(sample.reported_pose)
+    tx_beam = tx.beam(sample.v_tx1, sample.v_tx2)
+    rx_beam = rx.beam(sample.v_rx1, sample.v_rx2)
+    try:
+        tau_t = rx.second_mirror_plane(
+            sample.v_rx1, sample.v_rx2).intersect_ray(tx_beam)
+        tau_r = tx.second_mirror_plane(
+            sample.v_tx1, sample.v_tx2).intersect_ray(
+                rx_beam, forward_only=False)
+    except NoIntersectionError:
+        return np.full(6, MISS_PENALTY_M)
+    return np.concatenate([tx_beam.origin - tau_r, rx_beam.origin - tau_t])
+
+
+def coincidence_error_m(system: LearnedSystem,
+                        sample: AlignedSample) -> float:
+    """The paper's scalar error ``d(p_t, tau_r) + d(p_r, tau_t)``."""
+    res = coincidence_residuals(system, sample)
+    return float(np.linalg.norm(res[:3]) + np.linalg.norm(res[3:]))
+
+
+def fit_mapping(tx_kspace: GmaModel, rx_kspace: GmaModel,
+                samples: List[AlignedSample],
+                initial_mapping_params) -> LearnedSystem:
+    """Estimate the 12 mapping parameters by least squares.
+
+    ``initial_mapping_params`` plays the role of the deployer's rough
+    tape-measure placement of the TX and of the RX optics relative to
+    the headset.
+    """
+    if len(samples) < 4:
+        raise ValueError(
+            "need at least 4 aligned samples to constrain 12 parameters")
+    initial = np.asarray(initial_mapping_params, dtype=float)
+    if initial.shape != (12,):
+        raise ValueError("expected 12 initial mapping parameters")
+
+    def residuals(params):
+        system = LearnedSystem.from_mapping_params(
+            tx_kspace, rx_kspace, params)
+        return np.concatenate([
+            coincidence_residuals(system, sample) for sample in samples])
+
+    solution = least_squares(residuals, initial, method="lm",
+                             xtol=1e-15, ftol=1e-15)
+    return LearnedSystem.from_mapping_params(tx_kspace, rx_kspace,
+                                             solution.x)
+
+
+def mean_coincidence_error_m(system: LearnedSystem,
+                             samples: List[AlignedSample]) -> float:
+    """Average Section 4.2 error over a sample set (fit diagnostics)."""
+    if not samples:
+        raise ValueError("no samples to evaluate")
+    return float(np.mean([coincidence_error_m(system, s) for s in samples]))

@@ -1,0 +1,59 @@
+"""The learned Cyclops system: both GMA models placed in VR-space.
+
+After Section 4.1 (K-space models) and Section 4.2 (mapping
+parameters), the pointing mechanism needs exactly three things:
+
+* the TX GMA model expressed directly in VR-space (TX is static, so
+  its mapping is a fixed rigid transform);
+* the RX GMA model in its own K-space;
+* the RX mapping: where the RX GMA sits *relative to the headset
+  reference point X* whose pose VRH-T reports.  The RX model's
+  VR-space placement is then recomputed from every tracking report.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..galvo import GmaParams
+from ..geometry import RigidTransform
+from ..vrh import Pose
+from .gma import GmaModel
+
+
+@dataclass(frozen=True)
+class LearnedSystem:
+    """Everything the real-time pointing function ``P`` consumes."""
+
+    tx_model_vr: GmaModel
+    rx_model_kspace: GmaModel
+    rx_mapping: RigidTransform
+
+    @classmethod
+    def from_mapping_params(cls, tx_kspace: GmaModel, rx_kspace: GmaModel,
+                            mapping_params) -> "LearnedSystem":
+        """Assemble from the 12 mapping parameters of Section 4.2.
+
+        The first six place TX's K-space in VR-space; the last six
+        place RX's K-space relative to the reported headset point.
+        """
+        params = np.asarray(mapping_params, dtype=float)
+        if params.shape != (12,):
+            raise ValueError(f"expected 12 mapping parameters, "
+                             f"got shape {params.shape}")
+        tx_transform = RigidTransform.from_params(params[:6])
+        rx_transform = RigidTransform.from_params(params[6:])
+        return cls(tx_model_vr=tx_kspace.transformed(tx_transform),
+                   rx_model_kspace=rx_kspace,
+                   rx_mapping=rx_transform)
+
+    def rx_model_vr(self, reported_pose: Pose) -> GmaModel:
+        """The RX GMA model in VR-space for one tracking report."""
+        placement = reported_pose.as_transform().compose(self.rx_mapping)
+        return self.rx_model_kspace.transformed(placement)
+
+    def tx_params(self) -> GmaParams:
+        """Convenience accessor for the TX parameters in VR-space."""
+        return self.tx_model_vr.params

@@ -1,0 +1,19 @@
+"""Galvo-mirror hardware substrate: specs, geometry, DAQ, ground truth."""
+
+from .daq import Daq
+from .galvo import GalvoHardware
+from .mirror import GmaParams, canonical_gma, mirror_planes, trace
+from .servo import ServoModel
+from .specs import GVS102, GalvoSpec
+
+__all__ = [
+    "Daq",
+    "GVS102",
+    "GalvoHardware",
+    "GalvoSpec",
+    "ServoModel",
+    "GmaParams",
+    "canonical_gma",
+    "mirror_planes",
+    "trace",
+]

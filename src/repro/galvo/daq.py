@@ -1,0 +1,44 @@
+"""Data-acquisition (DAQ) device model.
+
+GM voltages are produced by an MCC USB-1608G-class DAQ: a 16-bit DAC
+over +/-10 V.  Its two observable effects are voltage quantization and
+the digital-to-analog conversion latency that dominates the 1-2 ms
+pointing latency (Section 5.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .. import constants
+
+
+@dataclass(frozen=True)
+class Daq:
+    """A bipolar DAC: quantizes commanded voltages, adds latency."""
+
+    bits: int = constants.DAQ_BITS
+    voltage_range_v: float = constants.DAQ_VOLTAGE_RANGE_V
+    conversion_latency_s: float = constants.DAQ_LATENCY_S
+
+    def __post_init__(self):
+        if self.bits < 1:
+            raise ValueError("DAC needs at least one bit")
+        if self.voltage_range_v <= 0:
+            raise ValueError("voltage range must be positive")
+
+    @property
+    def voltage_step_v(self) -> float:
+        """Smallest representable voltage change (one LSB)."""
+        return 2.0 * self.voltage_range_v / (2 ** self.bits)
+
+    def quantize(self, voltage_v: float) -> float:
+        """Clamp to range and round to the nearest DAC code."""
+        clamped = min(max(voltage_v, -self.voltage_range_v),
+                      self.voltage_range_v)
+        step = self.voltage_step_v
+        return round(clamped / step) * step
+
+    def in_range(self, voltage_v: float) -> bool:
+        """True when the commanded voltage is within the output range."""
+        return abs(voltage_v) <= self.voltage_range_v

@@ -1,0 +1,95 @@
+"""Second-order galvo servo dynamics.
+
+The GVS102's "300 us small-angle latency" is the settling time of a
+closed-loop servo.  :class:`ServoModel` models that loop as a
+critically damped second-order system -- the standard galvo tuning,
+fast with no overshoot -- calibrated so a small (0.2 degree) step
+settles to the 10 urad accuracy spec in 300 us.  It refines the
+spec-level square-root settle-time scaling with an actual trajectory,
+so a simulation can sample the mirror angle *mid-step*.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from .. import constants
+
+#: The "small angle" the datasheet's latency figure refers to (mech).
+SMALL_STEP_RAD = math.radians(0.2)
+
+
+def _critically_damped_remainder(x: float) -> float:
+    """Normalized remaining error ``(1 + x) e^-x`` at ``x = w t``."""
+    return (1.0 + x) * math.exp(-x)
+
+
+def _solve_remainder(target: float) -> float:
+    """Invert the remainder: smallest ``x`` with remainder <= target."""
+    if target >= 1.0:
+        return 0.0
+    lo, hi = 0.0, 60.0
+    for _ in range(80):
+        mid = (lo + hi) / 2.0
+        if _critically_damped_remainder(mid) > target:
+            lo = mid
+        else:
+            hi = mid
+    return hi
+
+
+@dataclass(frozen=True)
+class ServoModel:
+    """A critically damped mirror servo.
+
+    ``natural_frequency_rad_s`` is the closed-loop bandwidth ``w``;
+    the step response is ``theta(t) = step * (1 - (1 + w t) e^(-w t))``.
+    """
+
+    natural_frequency_rad_s: float
+    accuracy_rad: float = constants.GM_ANGULAR_ACCURACY_RAD
+
+    def __post_init__(self):
+        if self.natural_frequency_rad_s <= 0:
+            raise ValueError("natural frequency must be positive")
+        if self.accuracy_rad <= 0:
+            raise ValueError("accuracy must be positive")
+
+    @classmethod
+    def calibrated(cls,
+                   small_step_rad: float = SMALL_STEP_RAD,
+                   settle_time_s: float = (
+                       constants.GM_SMALL_ANGLE_LATENCY_S),
+                   accuracy_rad: float = (
+                       constants.GM_ANGULAR_ACCURACY_RAD)) -> "ServoModel":
+        """Build from the datasheet's small-angle settling figure."""
+        remainder = accuracy_rad / small_step_rad
+        x = _solve_remainder(remainder)
+        return cls(natural_frequency_rad_s=x / settle_time_s,
+                   accuracy_rad=accuracy_rad)
+
+    def angle_at(self, t_s: float, start_rad: float,
+                 target_rad: float) -> float:
+        """Mirror angle ``t_s`` after commanding a step."""
+        if t_s < 0:
+            raise ValueError("time cannot be negative")
+        step = target_rad - start_rad
+        x = self.natural_frequency_rad_s * t_s
+        return target_rad - step * _critically_damped_remainder(x)
+
+    def settle_time_s(self, step_rad: float,
+                      tolerance_rad: float = None) -> float:
+        """Time until the error falls within ``tolerance_rad``."""
+        if tolerance_rad is None:
+            tolerance_rad = self.accuracy_rad
+        step = abs(step_rad)
+        if step <= tolerance_rad:
+            return 0.0
+        x = _solve_remainder(tolerance_rad / step)
+        return x / self.natural_frequency_rad_s
+
+    def error_at(self, t_s: float, step_rad: float) -> float:
+        """Remaining pointing error ``t_s`` after a step."""
+        x = self.natural_frequency_rad_s * max(t_s, 0.0)
+        return abs(step_rad) * _critically_damped_remainder(x)

@@ -1,0 +1,81 @@
+"""Rays: the representation of an optical beam's centerline.
+
+The paper describes a beam as ``(p, x)`` -- an originating point and a
+direction vector.  :class:`Ray` is that pair, with the handful of
+geometric queries the TP algorithms need (point-along, distance to a
+point, closest approach between two rays).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .vec import as_vec3, distance, dot, normalize
+
+
+@dataclass(frozen=True)
+class Ray:
+    """A half-infinite line: ``origin + t * direction`` for ``t >= 0``.
+
+    ``direction`` is normalized on construction, so ``t`` is metric
+    distance along the beam.
+    """
+
+    origin: np.ndarray
+    direction: np.ndarray
+
+    def __post_init__(self):
+        object.__setattr__(self, "origin", as_vec3(self.origin))
+        object.__setattr__(self, "direction", normalize(self.direction))
+
+    def point_at(self, t: float) -> np.ndarray:
+        """Point a distance ``t`` along the ray from its origin."""
+        return self.origin + float(t) * self.direction
+
+    def distance_to_point(self, point) -> float:
+        """Perpendicular distance from ``point`` to the ray's line."""
+        p = as_vec3(point)
+        offset = p - self.origin
+        along = dot(offset, self.direction)
+        closest = self.origin + along * self.direction
+        return distance(p, closest)
+
+    def closest_point_to(self, point) -> np.ndarray:
+        """Point on the ray's line closest to ``point``."""
+        p = as_vec3(point)
+        along = dot(p - self.origin, self.direction)
+        return self.point_at(along)
+
+
+def closest_approach(a: Ray, b: Ray) -> tuple:
+    """Closest points between two rays' supporting lines.
+
+    Returns ``(point_on_a, point_on_b, gap)``.  For (nearly) parallel
+    rays the points are taken at ``a``'s origin and its projection onto
+    ``b``.  Used by alignment diagnostics: two perfectly aligned beams
+    have ``gap == 0`` along the shared optical axis.
+    """
+    w0 = a.origin - b.origin
+    ad = a.direction
+    bd = b.direction
+    a_dot_b = dot(ad, bd)
+    denom = 1.0 - a_dot_b * a_dot_b
+    if denom < 1e-12:
+        # Parallel lines: any pairing has the same gap.
+        t_a = 0.0
+        t_b = dot(w0, bd)
+    else:
+        d_a = dot(w0, ad)
+        d_b = dot(w0, bd)
+        t_a = (a_dot_b * d_b - d_a) / denom
+        t_b = (d_b - a_dot_b * d_a) / denom
+    p_a = a.point_at(t_a)
+    p_b = b.point_at(t_b)
+    return p_a, p_b, distance(p_a, p_b)
+
+
+def skew_gap(a: Ray, b: Ray) -> float:
+    """Minimum distance between the supporting lines of two rays."""
+    return closest_approach(a, b)[2]

@@ -1,0 +1,51 @@
+"""Specular reflection off a plane mirror.
+
+Implements the paper's reflection operator ``R`` (Section 4.1): given an
+input beam ``(p0, x0)`` and a mirror described by its (possibly rotated)
+normal ``n`` and a pivot point ``q`` on its surface, produce the output
+beam ``(p, x)`` whose origin is the strike point on the mirror.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .plane import Plane
+from .ray import Ray
+from .vec import as_vec3, dot, normalize
+
+
+def reflect_direction(direction, normal) -> np.ndarray:
+    """Reflect a direction vector about a mirror normal.
+
+    ``d' = d - 2 (d . n) n`` -- the sign of ``normal`` does not matter.
+    """
+    d = normalize(direction)
+    n = normalize(normal)
+    return d - 2.0 * dot(d, n) * n
+
+
+def reflect_ray(ray: Ray, mirror: Plane, forward_only: bool = True) -> Ray:
+    """Reflect ``ray`` off ``mirror``.
+
+    The returned ray originates at the strike point, which is the
+    quantity the paper calls the beam's originating point ``p`` when the
+    mirror is the GM's second mirror.  Raises
+    :class:`repro.geometry.plane.NoIntersectionError` if the beam never
+    reaches the mirror plane.  ``forward_only=False`` permits strike
+    points behind the ray origin -- needed when evaluating *fitted* GMA
+    models, whose gauge freedoms can legally produce such geometry.
+    """
+    strike = mirror.intersect_ray(ray, forward_only=forward_only)
+    return Ray(strike, reflect_direction(ray.direction, mirror.normal))
+
+
+def reflect_beam(p0, x0, normal, q) -> tuple:
+    """The paper's ``R(p0, x0, n, q)`` convenience form.
+
+    Accepts raw vectors and returns ``(p, x)`` as arrays, matching the
+    notation of Section 4.1 where the GMA expression chains two
+    reflections: first mirror then second mirror.
+    """
+    out = reflect_ray(Ray(as_vec3(p0), x0), Plane(as_vec3(q), normal))
+    return out.origin, out.direction

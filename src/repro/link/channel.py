@@ -1,0 +1,125 @@
+"""The end-to-end FSO channel: geometry in, received power out.
+
+Given the TX assembly, the RX assembly, and the current true headset
+pose, the channel traces both of Lemma 1's optical paths -- the real
+beam leaving TX and the imaginary beam leaving RX -- and reduces their
+mismatch to the two coupling scalars:
+
+* **axis offset**: how far the RX's expected beam point (``p_r``) sits
+  from the TX beam's centerline, i.e. which part of the (Gaussian)
+  profile the receiver is sampling;
+* **incidence angle**: the angle between the arriving *wavefront*
+  direction at the receiver and the direction the RX optics expect.
+  For a diverging beam the wavefront normal rotates as the receiver
+  moves across the cone (finite curvature radius), which is exactly why
+  linear headset motion consumes the link's angular tolerance
+  (Section 5.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..geometry import NoIntersectionError, angle_between, normalize
+from ..vrh import Pose, RxAssembly, TxAssembly
+from .design import NOISE_FLOOR_DBM, LinkDesign
+
+#: Minimum believable propagation distance; guards degenerate geometry.
+MIN_RANGE_M = 1e-3
+
+
+@dataclass(frozen=True)
+class AlignmentState:
+    """Everything the channel knows about the link at one instant."""
+
+    received_power_dbm: float
+    axis_offset_m: float
+    incidence_angle_rad: float
+    range_m: float
+    connected: bool
+
+
+@dataclass(frozen=True)
+class LemmaPoints:
+    """The four Lemma 1 points: originating and target, both ends."""
+
+    p_t: np.ndarray
+    tau_t: np.ndarray
+    p_r: np.ndarray
+    tau_r: np.ndarray
+
+    @property
+    def error(self) -> float:
+        """``d(p_t, tau_r) + d(p_r, tau_t)`` -- the Section 4.2 error."""
+        return (float(np.linalg.norm(self.p_t - self.tau_r))
+                + float(np.linalg.norm(self.p_r - self.tau_t)))
+
+
+@dataclass
+class FsoChannel:
+    """Physics of one TX-to-RX FSO link."""
+
+    design: LinkDesign
+    tx: TxAssembly
+    rx: RxAssembly
+
+    def evaluate(self, body_pose: Pose) -> AlignmentState:
+        """Received power and misalignment for the current GM voltages."""
+        tx_beam = self.tx.world_beam()
+        rx_beam = self.rx.world_beam(body_pose)
+        p_r = rx_beam.origin
+
+        # Where along the TX beam the receiver sits, and how far off axis.
+        closest = tx_beam.closest_point_to(p_r)
+        range_m = max(float(np.linalg.norm(closest - tx_beam.origin)),
+                      MIN_RANGE_M)
+        axis_offset = float(np.linalg.norm(p_r - closest))
+
+        # The arriving wavefront direction at the receiver.
+        curvature = self.design.beam.curvature_radius_m(range_m)
+        if np.isinf(curvature):
+            wavefront = tx_beam.direction
+        else:
+            wavefront = normalize(
+                tx_beam.direction + (p_r - closest) / curvature)
+        # Behind the transmitter there is no light at all.
+        behind = float(np.dot(p_r - tx_beam.origin, tx_beam.direction)) <= 0
+
+        incidence = angle_between(wavefront, -rx_beam.direction)
+        coupling = self.design.coupling(range_m)
+        power = coupling.received_power_dbm(axis_offset, incidence)
+        power = max(power, NOISE_FLOOR_DBM)
+        if behind:
+            power = NOISE_FLOOR_DBM
+        connected = self.design.sfp.signal_detected(power)
+        return AlignmentState(
+            received_power_dbm=power,
+            axis_offset_m=axis_offset,
+            incidence_angle_rad=incidence,
+            range_m=range_m,
+            connected=connected,
+        )
+
+    def received_power_dbm(self, body_pose: Pose) -> float:
+        """Shortcut for power-only queries (the alignment search)."""
+        return self.evaluate(body_pose).received_power_dbm
+
+    def lemma_points(self, body_pose: Pose) -> LemmaPoints:
+        """Lemma 1's two originating/target point pairs (world frame).
+
+        ``tau_t`` is where the TX beam strikes the RX GM's second-mirror
+        plane; ``tau_r`` is where the imaginary RX beam strikes the TX
+        GM's second-mirror plane.  Raises
+        :class:`repro.geometry.NoIntersectionError` when either beam
+        misses the other terminal's mirror plane entirely.
+        """
+        tx_beam = self.tx.world_beam()
+        rx_beam = self.rx.world_beam(body_pose)
+        rx_mirror = self.rx.world_second_mirror_plane(body_pose)
+        tx_mirror = self.tx.world_second_mirror_plane()
+        tau_t = rx_mirror.intersect_ray(tx_beam)
+        tau_r = tx_mirror.intersect_ray(rx_beam, forward_only=False)
+        return LemmaPoints(p_t=tx_beam.origin, tau_t=tau_t,
+                           p_r=rx_beam.origin, tau_r=tau_r)

@@ -1,0 +1,128 @@
+"""Multi-wavelength (40G+) link designs: the Section 6 future work.
+
+"For higher-bandwidth (40Gbps+) links, our designed TP mechanism
+remains unchanged; however, the link would likely need customized
+collimators that can efficiently capture a range of wavelengths
+because the high-bandwidth single-strand transceivers use multiple
+wavelengths."
+
+A QSFP+ single-strand 40G module carries four 10G lanes on CWDM
+wavelengths (1271/1291/1311/1331 nm).  A commodity collimator is
+optimized for one wavelength; chromatic focal shift costs the outer
+lanes extra coupling loss, and the *link* is only up when every lane's
+budget closes.  This module quantifies that, including the paper's
+proposed fix (an achromatic custom collimator).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from .design import LinkDesign, link_25g
+
+#: CWDM4 lane grid used by single-strand 40G/100G transceivers (nm).
+CWDM4_WAVELENGTHS_NM = (1271.0, 1291.0, 1311.0, 1331.0)
+
+#: Chromatic excess coupling loss of a commodity singlet-based
+#: collimator, per nm of offset from its design wavelength.  A few
+#: dB across the CWDM band matches focal-shift arithmetic for an
+#: f ~ 40 mm singlet coupling into a 50 um core.
+COMMODITY_CHROMATIC_DB_PER_NM = 0.12
+
+#: An achromatic (doublet / custom) collimator holds the focus across
+#: the band -- the paper's "customized collimators" fix.
+CUSTOM_CHROMATIC_DB_PER_NM = 0.015
+
+
+@dataclass(frozen=True)
+class LaneReport:
+    """Budget state of one wavelength lane."""
+
+    wavelength_nm: float
+    chromatic_loss_db: float
+    margin_db: float
+
+    @property
+    def closes(self) -> bool:
+        return self.margin_db >= 0.0
+
+
+@dataclass(frozen=True)
+class MultiWavelengthDesign:
+    """A 4-lane single-strand design on top of a base link design.
+
+    The base design supplies the geometry, coupling widths, and
+    per-lane rate; lanes differ only in their chromatic penalty.
+    ``design_wavelength_nm`` is where the collimator focus is perfect.
+    """
+
+    name: str
+    base: LinkDesign
+    lane_wavelengths_nm: tuple = CWDM4_WAVELENGTHS_NM
+    lane_rate_gbps: float = 10.3125
+    design_wavelength_nm: float = 1301.0  # band center
+    chromatic_db_per_nm: float = COMMODITY_CHROMATIC_DB_PER_NM
+
+    def chromatic_loss_db(self, wavelength_nm: float) -> float:
+        """Extra coupling loss of a lane at ``wavelength_nm``."""
+        offset = abs(wavelength_nm - self.design_wavelength_nm)
+        return self.chromatic_db_per_nm * offset
+
+    def lane_reports(self, range_m: float = None) -> List[LaneReport]:
+        """Per-lane budgets at a link range."""
+        if range_m is None:
+            range_m = self.base.design_range_m
+        base_margin = self.base.margin_db(range_m)
+        return [LaneReport(
+                    wavelength_nm=wl,
+                    chromatic_loss_db=self.chromatic_loss_db(wl),
+                    margin_db=base_margin - self.chromatic_loss_db(wl))
+                for wl in self.lane_wavelengths_nm]
+
+    def worst_lane_margin_db(self, range_m: float = None) -> float:
+        """The binding lane's margin -- the whole link's headroom."""
+        return min(r.margin_db for r in self.lane_reports(range_m))
+
+    def is_feasible(self, range_m: float = None) -> bool:
+        """True when every lane's budget closes."""
+        return all(r.closes for r in self.lane_reports(range_m))
+
+    @property
+    def aggregate_rate_gbps(self) -> float:
+        return self.lane_rate_gbps * len(self.lane_wavelengths_nm)
+
+    def worst_lane_angular_tolerance_rad(self,
+                                         range_m: float = None) -> float:
+        """RX angular tolerance with the binding lane's margin.
+
+        The chromatic penalty does not just shave static budget -- it
+        shrinks the margin that movement tolerance is made of, so a
+        commodity-collimator 40G link is *more fragile under motion*
+        even where it is statically feasible.
+        """
+        import math
+
+        from ..optics import EXCESS_DB_AT_WIDTH
+        if range_m is None:
+            range_m = self.base.design_range_m
+        margin = self.worst_lane_margin_db(range_m)
+        if margin <= 0:
+            return 0.0
+        width = self.base.angular_width_rad(range_m)
+        return width * math.sqrt(margin / EXCESS_DB_AT_WIDTH)
+
+
+def link_40g_commodity(base: LinkDesign = None) -> MultiWavelengthDesign:
+    """A 40G CWDM4 design with commodity (chromatic) collimators."""
+    return MultiWavelengthDesign(
+        name="40G CWDM4, commodity collimators",
+        base=base if base is not None else link_25g())
+
+
+def link_40g_custom(base: LinkDesign = None) -> MultiWavelengthDesign:
+    """The Section 6 fix: achromatic custom collimators."""
+    return MultiWavelengthDesign(
+        name="40G CWDM4, custom achromatic collimators",
+        base=base if base is not None else link_25g(),
+        chromatic_db_per_nm=CUSTOM_CHROMATIC_DB_PER_NM)

@@ -1,0 +1,97 @@
+"""Link movement-tolerance evaluation (Section 5.1's two metrics).
+
+Computes, for any :class:`repro.link.LinkDesign`:
+
+* **RX angular tolerance** -- how far the receiver can rotate from the
+  aligned position before the link disconnects;
+* **TX angular tolerance** -- how far the launched beam can be
+  mis-steered (equivalently, how far the receiver can sit off the beam
+  axis, divided by range);
+* **lateral tolerance** -- how far the receiver can translate.  For a
+  diverging beam a translation both slides the receiver across the
+  profile *and* rotates the arriving wavefront, so both coupling terms
+  spend the margin simultaneously.
+
+These are the quantities of Table 1 and the Fig. 11 sweep.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..optics import EXCESS_DB_AT_WIDTH
+from .design import LinkDesign
+
+
+@dataclass(frozen=True)
+class ToleranceReport:
+    """Movement tolerances of one design at one range."""
+
+    design_name: str
+    range_m: float
+    beam_diameter_at_rx_m: float
+    peak_power_dbm: float
+    tx_angular_tolerance_rad: float
+    rx_angular_tolerance_rad: float
+    lateral_tolerance_m: float
+
+
+def rx_angular_tolerance_rad(design: LinkDesign, range_m: float) -> float:
+    """Max pure receiver rotation keeping the link connected."""
+    coupling = design.coupling(range_m)
+    return coupling.angular_tolerance_rad(design.sfp.rx_sensitivity_dbm)
+
+
+def tx_angular_tolerance_rad(design: LinkDesign, range_m: float) -> float:
+    """Max pure beam-steering error at TX keeping the link connected.
+
+    A steering error of ``theta`` parks the receiver ``range * theta``
+    off the beam axis; for a diverging beam the wavefront still arrives
+    from the (unmoved) apex, so only the lateral term pays.
+    """
+    coupling = design.coupling(range_m)
+    lateral = coupling.lateral_tolerance_m(design.sfp.rx_sensitivity_dbm)
+    return lateral / range_m
+
+
+def lateral_tolerance_m(design: LinkDesign, range_m: float) -> float:
+    """Max pure receiver translation keeping the link connected."""
+    coupling = design.coupling(range_m)
+    margin = coupling.margin_db(design.sfp.rx_sensitivity_dbm)
+    if margin <= 0:
+        return 0.0
+    lateral_term = 1.0 / coupling.lateral_width_m ** 2
+    if design.diverging:
+        # Translation delta also rotates the arrival direction by
+        # delta / R(range); for our strongly diverging beams R ~ range.
+        curvature = design.beam.curvature_radius_m(range_m)
+        angular_term = 1.0 / (curvature * coupling.angular_width_rad) ** 2
+    else:
+        angular_term = 0.0
+    return math.sqrt(margin / EXCESS_DB_AT_WIDTH
+                     / (lateral_term + angular_term))
+
+
+def evaluate(design: LinkDesign, range_m: float = None) -> ToleranceReport:
+    """Full tolerance report for a design (Table 1 row)."""
+    if range_m is None:
+        range_m = design.design_range_m
+    return ToleranceReport(
+        design_name=design.name,
+        range_m=range_m,
+        beam_diameter_at_rx_m=design.beam_diameter_at(range_m),
+        peak_power_dbm=design.peak_power_dbm(range_m),
+        tx_angular_tolerance_rad=tx_angular_tolerance_rad(design, range_m),
+        rx_angular_tolerance_rad=rx_angular_tolerance_rad(design, range_m),
+        lateral_tolerance_m=lateral_tolerance_m(design, range_m),
+    )
+
+
+def diameter_sweep(design_factory, diameters_m, range_m: float) -> list:
+    """Fig. 11's sweep: tolerances vs beam diameter at RX.
+
+    ``design_factory`` maps a beam diameter to a :class:`LinkDesign`
+    (e.g. ``repro.link.link_10g_diverging``).
+    """
+    return [evaluate(design_factory(d), range_m) for d in diameters_m]

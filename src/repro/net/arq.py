@@ -1,0 +1,86 @@
+"""Packet-level ARQ over the slotted link (the Section 5.4 claim).
+
+"Note that each timeslot (being 1 ms) can transmit multiple data
+packets on a 25Gbps link; thus, a network protocol would be able to
+provide an effective bandwidth of about 23Gbps (98.6% of 23.5Gbps)
+for the traces."  This module checks that claim with an actual
+stop-and-wait-free sliding sender: packets sent during off-slots are
+lost and retransmitted after a timeout, and goodput is measured at the
+receiver.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+#: A jumbo-frame-ish packet, in bits (9 KB).
+DEFAULT_PACKET_BITS = 9000 * 8
+
+
+@dataclass(frozen=True)
+class ArqResult:
+    """Receiver-side accounting of one replay."""
+
+    delivered_packets: int
+    transmissions: int
+    duration_s: float
+    packet_bits: int
+
+    @property
+    def goodput_gbps(self) -> float:
+        if self.duration_s <= 0:
+            return 0.0
+        return (self.delivered_packets * self.packet_bits
+                / self.duration_s / 1e9)
+
+    @property
+    def retransmission_fraction(self) -> float:
+        if self.transmissions == 0:
+            return 0.0
+        return 1.0 - self.delivered_packets / self.transmissions
+
+
+def run_arq(link_up: np.ndarray, slot_s: float, line_rate_gbps: float,
+            packet_bits: int = DEFAULT_PACKET_BITS,
+            feedback_delay_slots: int = 1) -> ArqResult:
+    """Send greedily over a slotted link with loss-triggered resends.
+
+    Per slot the sender emits ``line_rate * slot / packet_bits``
+    packets.  Packets launched during an off-slot are lost; the loss
+    is known ``feedback_delay_slots`` later (the RTT of a 2 m link is
+    nanoseconds, so one slot is generous), at which point the packets
+    re-enter the send queue ahead of new data.  Delivered count is
+    unique packets; goodput is their rate.
+    """
+    if slot_s <= 0 or line_rate_gbps <= 0 or packet_bits <= 0:
+        raise ValueError("slot, rate, and packet size must be positive")
+    if feedback_delay_slots < 0:
+        raise ValueError("feedback delay cannot be negative")
+    packets_per_slot = line_rate_gbps * 1e9 * slot_s / packet_bits
+    if packets_per_slot < 1:
+        raise ValueError("a slot must fit at least one packet")
+    per_slot = int(packets_per_slot)
+
+    delivered = 0
+    transmissions = 0
+    retransmit_queue = 0   # packets known lost, awaiting resend
+    in_flight_losses = []  # (reveal_slot, count)
+    for slot, up in enumerate(np.asarray(link_up, dtype=bool)):
+        # Losses from earlier slots become known.
+        while in_flight_losses and in_flight_losses[0][0] <= slot:
+            retransmit_queue += in_flight_losses.pop(0)[1]
+        sent = per_slot
+        transmissions += sent
+        resends = min(retransmit_queue, sent)
+        retransmit_queue -= resends
+        if up:
+            delivered += sent
+        else:
+            in_flight_losses.append(
+                (slot + 1 + feedback_delay_slots, sent))
+    return ArqResult(delivered_packets=delivered,
+                     transmissions=transmissions,
+                     duration_s=len(link_up) * slot_s,
+                     packet_bits=packet_bits)

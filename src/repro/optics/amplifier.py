@@ -1,0 +1,31 @@
+"""Optical amplifier (EDFA) model.
+
+The prototype inserts an erbium-doped fiber amplifier after the TX SFP
+"to compensate for the coupling losses due to using a fiber rather than
+an exposed photodetector" (Section 5.1).  We model small-signal gain
+with a saturation output power, which is how EDFAs are specified.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Amplifier:
+    """A fixed-gain optical amplifier with output saturation."""
+
+    gain_db: float
+    saturation_output_dbm: float = 23.0  # typical booster EDFA
+
+    def __post_init__(self):
+        if self.gain_db < 0:
+            raise ValueError("amplifier gain cannot be negative")
+
+    def amplify_dbm(self, input_dbm: float) -> float:
+        """Output power for a given input power.
+
+        Below saturation the amplifier applies its small-signal gain;
+        above it the output clamps at the saturation power.
+        """
+        return min(input_dbm + self.gain_db, self.saturation_output_dbm)

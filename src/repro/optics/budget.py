@@ -1,0 +1,48 @@
+"""End-to-end link-budget accounting.
+
+A link budget is an ordered list of named gains/losses applied to the
+transmitter power.  Keeping it explicit makes the bench output readable
+("where did my 30 dB go?") and lets tests assert each stage.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Tuple
+
+
+@dataclass
+class LinkBudget:
+    """Accumulates named dB stages on top of a TX power."""
+
+    tx_power_dbm: float
+    stages: List[Tuple[str, float]] = field(default_factory=list)
+
+    def add(self, name: str, gain_db: float) -> "LinkBudget":
+        """Append a stage; negative ``gain_db`` is a loss."""
+        if not name:
+            raise ValueError("budget stages need a name")
+        self.stages.append((name, float(gain_db)))
+        return self
+
+    @property
+    def received_power_dbm(self) -> float:
+        """TX power plus every stage."""
+        return self.tx_power_dbm + sum(g for _, g in self.stages)
+
+    def margin_db(self, sensitivity_dbm: float) -> float:
+        """Headroom above the receiver sensitivity."""
+        return self.received_power_dbm - sensitivity_dbm
+
+    def closes(self, sensitivity_dbm: float) -> bool:
+        """True when the budget closes (link would be up)."""
+        return self.margin_db(sensitivity_dbm) >= 0.0
+
+    def breakdown(self) -> str:
+        """Human-readable multi-line budget table."""
+        lines = [f"{'TX power':24s} {self.tx_power_dbm:+8.2f} dBm"]
+        running = self.tx_power_dbm
+        for name, gain in self.stages:
+            running += gain
+            lines.append(f"{name:24s} {gain:+8.2f} dB  -> {running:+.2f} dBm")
+        return "\n".join(lines)

@@ -1,0 +1,71 @@
+"""Quad-photodiode power monitor.
+
+The exhaustive alignment search (Section 4.2, footnote 9) monitors
+received power by surrounding the RX collimator with four photodiodes
+connected to a DAQ.  The search only needs a scalar "brighter or dimmer"
+signal plus, optionally, a directional hint from the four quadrants.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+import math
+
+import numpy as np
+
+from .units import dbm_to_mw
+
+
+@dataclass(frozen=True)
+class QuadPhotodiode:
+    """Four photodiodes at N/E/S/W of the collimator aperture.
+
+    ``ring_radius_m`` is the distance of each diode from the lens
+    center; ``noise_mw`` is additive measurement noise per diode.
+    """
+
+    ring_radius_m: float = 12e-3
+    responsivity: float = 1.0
+    noise_mw: float = 1e-7
+
+    def read(self, beam_power_dbm: float, beam_offset_m,
+             beam_diameter_m: float, rng=None) -> np.ndarray:
+        """Per-quadrant photocurrents for a beam landing near the lens.
+
+        ``beam_offset_m`` is the beam center's (x, y) offset from the
+        lens center in the lens plane.  Each diode sees the local
+        Gaussian intensity of the spot; the readings are what the
+        alignment search's directional hints are computed from.
+        """
+        if rng is None:
+            rng = np.random.default_rng()
+        offset = np.asarray(beam_offset_m, dtype=float)
+        if offset.shape != (2,):
+            raise ValueError("beam offset must be a 2-vector in lens plane")
+        total_mw = dbm_to_mw(beam_power_dbm)
+        positions = self.ring_radius_m * np.array(
+            [[0.0, 1.0], [1.0, 0.0], [0.0, -1.0], [-1.0, 0.0]])
+        w = beam_diameter_m / 2.0  # 1/e^2 radius
+        readings = np.empty(4)
+        for i, pos in enumerate(positions):
+            r2 = float(np.sum((pos - offset) ** 2))
+            intensity = math.exp(-2.0 * r2 / (w * w))
+            readings[i] = (self.responsivity * total_mw * intensity
+                           + rng.normal(0.0, self.noise_mw))
+        return np.maximum(readings, 0.0)
+
+    def centroid_hint(self, readings: np.ndarray) -> np.ndarray:
+        """Rough direction toward the beam center from quadrant readings.
+
+        Returns an (x, y) vector in the lens plane; (0, 0) means
+        balanced.  Only usable as a coarse hint, exactly as in the
+        prototype.
+        """
+        r = np.asarray(readings, dtype=float)
+        if r.shape != (4,):
+            raise ValueError("expected four quadrant readings")
+        total = float(np.sum(r))
+        if total <= 0.0:
+            return np.zeros(2)
+        north, east, south, west = r
+        return np.array([east - west, north - south]) / total

@@ -1,0 +1,135 @@
+"""Eye-safety analysis (IEC 60825-1, the paper's reference [19]).
+
+The paper argues its prototypes are eye-safe because (i) the SFPs are
+Class 1 devices, (ii) 1550 nm light is absorbed before the retina, and
+(iii) "using an amplifier retains eye safety, especially in light of
+our choice of diverging beam and coupling losses" (footnote 12).  This
+module makes that argument checkable: how much amplified power can
+actually enter a pupil, and from what distance onward the diverging
+beam is Class 1.
+
+The accessible-emission limits below are simplified CW approximations
+of IEC 60825-1 for the two SFP wavelengths; they are for simulation
+and design exploration, not compliance certification.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from .gaussian import GaussianBeam
+from .units import dbm_to_mw
+
+#: Diameter of a dark-adapted human pupil (the measurement aperture).
+PUPIL_DIAMETER_M = 7e-3
+
+#: Approximate Class 1 CW accessible-emission limits, in milliwatts.
+#: Beyond 1400 nm the cornea/lens absorb before the retina, so the
+#: limit is ~10 mW; in the 1250-1400 nm band it is a few milliwatts.
+CLASS1_LIMIT_MW = {
+    "retinal-hazard band (<1250 nm)": 0.78,
+    "1250-1400 nm": 3.0,
+    ">1400 nm (retina-safe)": 10.0,
+}
+
+
+def class1_limit_mw(wavelength_nm: float) -> float:
+    """Class 1 limit applicable to a wavelength (approximate)."""
+    if wavelength_nm <= 0:
+        raise ValueError("wavelength must be positive")
+    if wavelength_nm < 1250.0:
+        return CLASS1_LIMIT_MW["retinal-hazard band (<1250 nm)"]
+    if wavelength_nm <= 1400.0:
+        return CLASS1_LIMIT_MW["1250-1400 nm"]
+    return CLASS1_LIMIT_MW[">1400 nm (retina-safe)"]
+
+
+def power_through_pupil_mw(beam: GaussianBeam, launched_power_dbm: float,
+                           distance_m: float,
+                           pupil_diameter_m: float = PUPIL_DIAMETER_M
+                           ) -> float:
+    """Worst-case power entering a centered pupil at a distance."""
+    if distance_m < 0:
+        raise ValueError("distance cannot be negative")
+    total_mw = dbm_to_mw(launched_power_dbm)
+    fraction = beam.intensity_fraction_within(pupil_diameter_m,
+                                              distance_m)
+    return total_mw * fraction
+
+
+def is_class1_at(beam: GaussianBeam, launched_power_dbm: float,
+                 distance_m: float) -> bool:
+    """Class 1 verdict for an eye at ``distance_m`` from the launch."""
+    limit = class1_limit_mw(beam.wavelength_m * 1e9)
+    return power_through_pupil_mw(
+        beam, launched_power_dbm, distance_m) <= limit
+
+
+def hazard_distance_m(beam: GaussianBeam, launched_power_dbm: float,
+                      max_distance_m: float = 100.0) -> float:
+    """Nominal ocular hazard distance: Class 1 from here onward.
+
+    Returns 0 when the launch is safe even at the aperture, and
+    ``inf`` when it is still above the limit at ``max_distance_m``
+    (practically: a collimated over-limit beam).
+    """
+    if is_class1_at(beam, launched_power_dbm, 0.0):
+        return 0.0
+    if not is_class1_at(beam, launched_power_dbm, max_distance_m):
+        return math.inf
+    lo, hi = 0.0, max_distance_m
+    for _ in range(60):
+        mid = (lo + hi) / 2.0
+        if is_class1_at(beam, launched_power_dbm, mid):
+            hi = mid
+        else:
+            lo = mid
+    return hi
+
+
+@dataclass(frozen=True)
+class SafetyReport:
+    """Eye-safety summary of one link design."""
+
+    design_name: str
+    wavelength_nm: float
+    launched_power_dbm: float
+    class1_limit_mw: float
+    worst_pupil_power_at_link_range_mw: float
+    hazard_distance_m: float
+
+    @property
+    def safe_at_link_range(self) -> bool:
+        return (self.worst_pupil_power_at_link_range_mw
+                <= self.class1_limit_mw)
+
+
+#: Portion of the link's fixed insertion/mode loss incurred *before*
+#: the launch aperture (fiber splices, the amplifier-to-collimator
+#: path, the collimator itself).  Light lost there never becomes
+#: accessible emission -- this is the "coupling losses" part of the
+#: paper's footnote-12 safety argument.
+TX_SIDE_INSERTION_LOSS_DB = 7.0
+
+
+def assess_design(design,
+                  tx_insertion_loss_db: float = TX_SIDE_INSERTION_LOSS_DB
+                  ) -> SafetyReport:
+    """Safety report for a :class:`repro.link.LinkDesign`.
+
+    The launched (accessible) power is the amplifier output minus the
+    TX-side share of the insertion loss.
+    """
+    launched = (design.amplifier.amplify_dbm(design.sfp.tx_power_dbm)
+                - tx_insertion_loss_db)
+    wavelength_nm = design.beam.wavelength_m * 1e9
+    return SafetyReport(
+        design_name=design.name,
+        wavelength_nm=wavelength_nm,
+        launched_power_dbm=launched,
+        class1_limit_mw=class1_limit_mw(wavelength_nm),
+        worst_pupil_power_at_link_range_mw=power_through_pupil_mw(
+            design.beam, launched, design.design_range_m),
+        hazard_distance_m=hazard_distance_m(design.beam, launched),
+    )

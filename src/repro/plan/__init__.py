@@ -1,0 +1,19 @@
+"""Deployment planning: ceiling TX coverage of a play space."""
+
+from .coverage import (
+    CoverageConstraints,
+    CoveragePlan,
+    Room,
+    plan_greedy,
+    service_radius_m,
+    tx_covers,
+)
+
+__all__ = [
+    "CoverageConstraints",
+    "CoveragePlan",
+    "Room",
+    "plan_greedy",
+    "service_radius_m",
+    "tx_covers",
+]

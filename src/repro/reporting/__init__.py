@@ -1,0 +1,6 @@
+"""Text reporting helpers shared by benches and examples."""
+
+from .ascii_plot import AsciiPlot, sparkline
+from .table import TextTable, fmt_float
+
+__all__ = ["AsciiPlot", "TextTable", "fmt_float", "sparkline"]

@@ -1,0 +1,131 @@
+"""Terminal line plots, dependency-free.
+
+The benches regenerate the paper's *figures*; a text table shows the
+numbers, but a shape claim ("rises to a peak at 16 mm", "collapses
+past 33 cm/s") is easier to eyeball as a curve.  This renders one or
+two series into a character grid with labelled axes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+#: Markers assigned to successive series.
+SERIES_MARKERS = "*o+x"
+
+
+@dataclass
+class AsciiPlot:
+    """A small scatter/line canvas.
+
+    Add one or more series, then :meth:`render`.  Axis ranges come
+    from the data (optionally overridden); each series is drawn with
+    its own marker, later series over earlier ones.
+    """
+
+    width: int = 64
+    height: int = 16
+    x_label: str = ""
+    y_label: str = ""
+    x_range: Optional[Tuple[float, float]] = None
+    y_range: Optional[Tuple[float, float]] = None
+
+    def __post_init__(self):
+        if self.width < 8 or self.height < 4:
+            raise ValueError("plot area too small to be readable")
+        self._series: List[Tuple[str, list, list]] = []
+
+    def add_series(self, name: str, xs: Sequence[float],
+                   ys: Sequence[float]) -> "AsciiPlot":
+        """Add one named series (marker auto-assigned)."""
+        xs = [float(x) for x in xs]
+        ys = [float(y) for y in ys]
+        if len(xs) != len(ys):
+            raise ValueError("x and y lengths differ")
+        if not xs:
+            raise ValueError("series needs at least one point")
+        self._series.append((name, xs, ys))
+        return self
+
+    def _ranges(self) -> Tuple[float, float, float, float]:
+        xs = [x for _, series_x, _ in self._series for x in series_x]
+        ys = [y for _, _, series_y in self._series for y in series_y]
+        x_lo, x_hi = self.x_range or (min(xs), max(xs))
+        y_lo, y_hi = self.y_range or (min(ys), max(ys))
+        if x_hi == x_lo:
+            x_hi = x_lo + 1.0
+        if y_hi == y_lo:
+            y_hi = y_lo + 1.0
+        return x_lo, x_hi, y_lo, y_hi
+
+    def render(self) -> str:
+        """The plot as a multi-line string."""
+        if not self._series:
+            raise ValueError("nothing to plot")
+        x_lo, x_hi, y_lo, y_hi = self._ranges()
+        grid = [[" "] * self.width for _ in range(self.height)]
+
+        def place(x, y, marker):
+            col = int((x - x_lo) / (x_hi - x_lo) * (self.width - 1))
+            row = int((y - y_lo) / (y_hi - y_lo) * (self.height - 1))
+            col = min(max(col, 0), self.width - 1)
+            row = min(max(row, 0), self.height - 1)
+            grid[self.height - 1 - row][col] = marker
+
+        for index, (_, xs, ys) in enumerate(self._series):
+            marker = SERIES_MARKERS[index % len(SERIES_MARKERS)]
+            for x, y in zip(xs, ys):
+                place(x, y, marker)
+
+        lines = []
+        top_label = f"{y_hi:g}"
+        bottom_label = f"{y_lo:g}"
+        pad = max(len(top_label), len(bottom_label))
+        for i, row in enumerate(grid):
+            if i == 0:
+                prefix = top_label.rjust(pad)
+            elif i == self.height - 1:
+                prefix = bottom_label.rjust(pad)
+            else:
+                prefix = " " * pad
+            lines.append(f"{prefix} |" + "".join(row))
+        lines.append(" " * pad + " +" + "-" * self.width)
+        x_axis = (f"{x_lo:g}".ljust(self.width // 2)
+                  + f"{x_hi:g}".rjust(self.width - self.width // 2))
+        lines.append(" " * pad + "  " + x_axis)
+        footer_parts = []
+        if self.x_label:
+            footer_parts.append(f"x: {self.x_label}")
+        if self.y_label:
+            footer_parts.append(f"y: {self.y_label}")
+        for index, (name, _, _) in enumerate(self._series):
+            marker = SERIES_MARKERS[index % len(SERIES_MARKERS)]
+            footer_parts.append(f"{marker} {name}")
+        if footer_parts:
+            lines.append(" " * pad + "  " + "   ".join(footer_parts))
+        return "\n".join(lines)
+
+
+def sparkline(values: Sequence[float], width: int = 60) -> str:
+    """A one-line intensity strip (eight levels) of a series."""
+    blocks = " .:-=+*#"
+    data = [float(v) for v in values]
+    if not data:
+        raise ValueError("nothing to sparkline")
+    lo, hi = min(data), max(data)
+    if hi == lo:
+        hi = lo + 1.0
+    # Downsample to width by taking bucket means.
+    buckets = []
+    n = len(data)
+    for i in range(min(width, n)):
+        start = i * n // min(width, n)
+        end = max((i + 1) * n // min(width, n), start + 1)
+        chunk = data[start:end]
+        buckets.append(sum(chunk) / len(chunk))
+    out = []
+    for value in buckets:
+        level = int((value - lo) / (hi - lo) * (len(blocks) - 1))
+        out.append(blocks[level])
+    return "".join(out)

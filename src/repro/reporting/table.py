@@ -1,0 +1,48 @@
+"""Plain-text tables for bench and example output.
+
+The benches regenerate the paper's tables and figure series as text;
+this tiny formatter keeps their output aligned and diff-friendly
+without pulling in any dependency.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Sequence
+
+
+@dataclass
+class TextTable:
+    """A fixed-width table: headers plus rows of stringifiable cells."""
+
+    headers: Sequence[str]
+    rows: List[List[str]] = field(default_factory=list)
+
+    def add_row(self, *cells) -> "TextTable":
+        """Append one row; cells are formatted with ``str``."""
+        if len(cells) != len(self.headers):
+            raise ValueError(
+                f"expected {len(self.headers)} cells, got {len(cells)}")
+        self.rows.append([str(c) for c in cells])
+        return self
+
+    def render(self, indent: str = "") -> str:
+        """The table as aligned text (left column left-aligned, rest
+        right-aligned, like the paper's tables)."""
+        columns = list(zip(*([list(self.headers)] + self.rows)))
+        widths = [max(len(cell) for cell in column) for column in columns]
+
+        def fmt(cells):
+            parts = [cells[0].ljust(widths[0])]
+            parts += [c.rjust(w) for c, w in zip(cells[1:], widths[1:])]
+            return indent + "  ".join(parts)
+
+        rule = indent + "-" * (sum(widths) + 2 * (len(widths) - 1))
+        lines = [fmt(list(self.headers)), rule]
+        lines += [fmt(row) for row in self.rows]
+        return "\n".join(lines)
+
+
+def fmt_float(value: float, digits: int = 2) -> str:
+    """Uniform float formatting for table cells."""
+    return f"{value:.{digits}f}"

@@ -1,0 +1,63 @@
+"""Dataset-level availability analysis (Fig. 16 and the 98.6 % claim)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+import numpy as np
+
+from ..motion import HeadTrace
+from .timeslot import TimeslotParams, TimeslotResult, simulate_trace
+
+
+@dataclass(frozen=True)
+class AvailabilityReport:
+    """Aggregate connectivity over a trace dataset."""
+
+    per_trace_availability: np.ndarray
+    overall_availability: float
+    best: float
+    worst: float
+
+    def disconnection_cdf(self) -> tuple:
+        """CDF of per-trace disconnected percentage (Fig. 16's axes).
+
+        Returns ``(disconnected_percent_sorted, cumulative_fraction)``.
+        """
+        disconnected = np.sort(
+            (1.0 - self.per_trace_availability) * 100.0)
+        fractions = np.arange(1, disconnected.size + 1) / disconnected.size
+        return disconnected, fractions
+
+    def effective_bandwidth_gbps(self, optimal_gbps: float) -> float:
+        """The paper's "effective bandwidth" readout.
+
+        A 1 ms slot carries many packets on a 25G link, so a protocol
+        sees roughly availability x optimal throughput.
+        """
+        return self.overall_availability * optimal_gbps
+
+
+def simulate_dataset(traces: Sequence[HeadTrace],
+                     params: TimeslotParams = TimeslotParams()
+                     ) -> List[TimeslotResult]:
+    """Replay every trace through the Section 5.4 model."""
+    if not traces:
+        raise ValueError("no traces to simulate")
+    return [simulate_trace(trace, params) for trace in traces]
+
+
+def report(results: Sequence[TimeslotResult]) -> AvailabilityReport:
+    """Aggregate slot connectivity into the Fig. 16 quantities."""
+    if not results:
+        raise ValueError("no results to aggregate")
+    per_trace = np.array([r.availability for r in results])
+    total_slots = sum(r.slots for r in results)
+    total_on = sum(r.slots - r.off_slots for r in results)
+    return AvailabilityReport(
+        per_trace_availability=per_trace,
+        overall_availability=total_on / total_slots,
+        best=float(per_trace.max()),
+        worst=float(per_trace.min()),
+    )

@@ -1,0 +1,60 @@
+"""Off-slot clustering analysis (Section 5.4's user-experience metric).
+
+"To measure user experience, we can measure how clustered/scattered the
+off-timeslots are, since widely scattered off-timeslots should have
+minimal impact" -- the paper reports that most (>60 %) off-slots occur
+in frames (30 contiguous slots) with fewer than 10 off-slots.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from .. import constants
+from .timeslot import TimeslotResult
+
+
+@dataclass(frozen=True)
+class ClusteringReport:
+    """How off-slots distribute over fixed-size frames."""
+
+    frame_slots: int
+    off_slot_total: int
+    off_per_frame_histogram: np.ndarray  # index = off-slots in frame
+
+    def fraction_in_frames_below(self, threshold: int) -> float:
+        """Fraction of off-slots living in frames with < threshold offs.
+
+        The paper's headline: >60 % of off-slots are in frames with
+        fewer than 10 off-slots.
+        """
+        if self.off_slot_total == 0:
+            return 1.0
+        counts = np.arange(self.off_per_frame_histogram.size)
+        weighted = counts * self.off_per_frame_histogram
+        return float(weighted[:threshold].sum() / self.off_slot_total)
+
+
+def analyze(results: Sequence[TimeslotResult],
+            frame_slots: int = constants.TRACE_FRAME_SLOTS
+            ) -> ClusteringReport:
+    """Histogram off-slots by how many share their frame."""
+    if frame_slots <= 0:
+        raise ValueError("frame size must be positive")
+    histogram = np.zeros(frame_slots + 1, dtype=np.int64)
+    total_off = 0
+    for result in results:
+        off = ~result.connected
+        n_frames = off.size // frame_slots
+        if n_frames == 0:
+            continue
+        frames = off[:n_frames * frame_slots].reshape(n_frames, frame_slots)
+        per_frame = frames.sum(axis=1)
+        total_off += int(per_frame.sum())
+        histogram += np.bincount(per_frame, minlength=frame_slots + 1)
+    return ClusteringReport(frame_slots=frame_slots,
+                            off_slot_total=total_off,
+                            off_per_frame_histogram=histogram)

@@ -1,0 +1,38 @@
+"""VR streaming substrate: formats, frame transport, latency budgets.
+
+Turns link-level connectivity (Sections 5.3-5.4) into the frame-level
+and motion-to-photon quantities the paper's motivation (Section 2.1)
+is written in.
+"""
+
+from .transport import (
+    FrameOutcome,
+    StreamReport,
+    motion_to_photon_s,
+    stream_over_link,
+)
+from .video import (
+    CATALOGUE,
+    HD_1080P_60,
+    LIFE_LIKE_1800FPS,
+    UHD_4K_90_STEREO,
+    UHD_8K_30,
+    UHD_8K_30_YUV420,
+    UHD_8K_RGBAD_60,
+    VideoFormat,
+)
+
+__all__ = [
+    "CATALOGUE",
+    "FrameOutcome",
+    "HD_1080P_60",
+    "LIFE_LIKE_1800FPS",
+    "StreamReport",
+    "UHD_4K_90_STEREO",
+    "UHD_8K_30",
+    "UHD_8K_30_YUV420",
+    "UHD_8K_RGBAD_60",
+    "VideoFormat",
+    "motion_to_photon_s",
+    "stream_over_link",
+]

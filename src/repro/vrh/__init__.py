@@ -1,0 +1,13 @@
+"""Headset substrate: poses, the built-in tracker, and the RX assembly."""
+
+from .headset import RxAssembly, TxAssembly
+from .pose import Pose, speeds_between
+from .tracker import VrhTracker
+
+__all__ = [
+    "Pose",
+    "RxAssembly",
+    "TxAssembly",
+    "VrhTracker",
+    "speeds_between",
+]

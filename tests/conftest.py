@@ -1,0 +1,35 @@
+"""Shared fixtures.
+
+The expensive artifact is a fully calibrated testbed (board calibration
+of both GMAs plus the 30-sample mapping fit takes a few seconds), so it
+is built once per session.  Tests that steer its mirrors must apply
+their own voltages first and never rely on leftover state.
+"""
+
+import numpy as np
+import pytest
+
+from repro.simulate import Testbed
+
+
+@pytest.fixture(scope="session")
+def testbed():
+    """One deterministic, fully built (but uncalibrated) prototype."""
+    return Testbed(seed=3)
+
+
+@pytest.fixture(scope="session")
+def calibration(testbed):
+    """The Section 4 pipeline's output against the shared testbed."""
+    return testbed.calibrate()
+
+
+@pytest.fixture(scope="session")
+def learned_system(calibration):
+    return calibration.system
+
+
+@pytest.fixture()
+def rng():
+    """Fresh deterministic generator per test."""
+    return np.random.default_rng(1234)

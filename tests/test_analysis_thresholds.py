@@ -1,0 +1,122 @@
+"""Tests for the closed-form tolerated-speed model."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    BudgetInputs,
+    angular_speed_limit_rad_s,
+    default_staleness_s,
+    inputs_for,
+    linear_speed_limit_m_s,
+    mixed_speed_feasible,
+)
+from repro.link import link_10g_diverging, link_25g
+
+
+class TestDefaults:
+    def test_staleness_is_tracking_plus_actuation(self):
+        # ~13 ms period + ~1.5 ms control/DAC.
+        assert 0.013 <= default_staleness_s() <= 0.016
+
+    def test_inputs_for_populates(self):
+        inputs = inputs_for(link_10g_diverging())
+        assert inputs.margin_db > 0
+        assert inputs.lateral_width_m > 0
+        assert inputs.angular_width_rad > 0
+        assert math.isfinite(inputs.curvature_radius_m)
+
+
+class TestAngularLimit:
+    def test_10g_limit_near_paper(self):
+        # Paper: 16-18 deg/s tolerated by the 10G link.
+        limit = angular_speed_limit_rad_s(inputs_for(link_10g_diverging()))
+        assert 10.0 <= np.degrees(limit) <= 26.0
+
+    def test_25g_limit_near_paper(self):
+        # Paper: ~25 deg/s.
+        limit = angular_speed_limit_rad_s(inputs_for(link_25g()))
+        assert 18.0 <= np.degrees(limit) <= 34.0
+
+    def test_zero_when_residual_eats_budget(self):
+        inputs = inputs_for(link_10g_diverging(),
+                            residual_angular_rad=0.1)
+        assert angular_speed_limit_rad_s(inputs) == 0.0
+
+    def test_limit_shrinks_with_staleness(self):
+        fast = inputs_for(link_10g_diverging(), staleness_s=0.005)
+        slow = inputs_for(link_10g_diverging(), staleness_s=0.030)
+        assert angular_speed_limit_rad_s(fast) > \
+            angular_speed_limit_rad_s(slow)
+
+    def test_limit_grows_with_margin(self):
+        base = inputs_for(link_10g_diverging())
+        richer = BudgetInputs(
+            margin_db=base.margin_db + 6.0,
+            lateral_width_m=base.lateral_width_m,
+            angular_width_rad=base.angular_width_rad,
+            curvature_radius_m=base.curvature_radius_m,
+            staleness_s=base.staleness_s,
+            residual_lateral_m=base.residual_lateral_m,
+            residual_angular_rad=base.residual_angular_rad)
+        assert angular_speed_limit_rad_s(richer) > \
+            angular_speed_limit_rad_s(base)
+
+
+class TestLinearLimit:
+    def test_10g_limit_near_simulated(self):
+        # The simulator tolerates ~46 cm/s; the paper 33-39.
+        limit = linear_speed_limit_m_s(inputs_for(link_10g_diverging()))
+        assert 0.25 <= limit <= 0.65
+
+    def test_25g_below_10g(self):
+        # Table 3's ordering.
+        lin10 = linear_speed_limit_m_s(inputs_for(link_10g_diverging()))
+        lin25 = linear_speed_limit_m_s(inputs_for(link_25g()))
+        assert lin25 < lin10
+
+    def test_curvature_drives_linear_limit(self):
+        # Without the wavefront-rotation effect (collimated-like
+        # infinite curvature) the linear tolerance becomes much larger.
+        base = inputs_for(link_10g_diverging())
+        flat = BudgetInputs(
+            margin_db=base.margin_db,
+            lateral_width_m=base.lateral_width_m,
+            angular_width_rad=base.angular_width_rad,
+            curvature_radius_m=math.inf,
+            staleness_s=base.staleness_s,
+            residual_lateral_m=base.residual_lateral_m,
+            residual_angular_rad=base.residual_angular_rad)
+        assert linear_speed_limit_m_s(flat) > \
+            1.5 * linear_speed_limit_m_s(base)
+
+    def test_zero_when_residual_eats_budget(self):
+        inputs = inputs_for(link_10g_diverging(),
+                            residual_lateral_m=0.1)
+        assert linear_speed_limit_m_s(inputs) == 0.0
+
+
+class TestMixedFeasibility:
+    def test_requirement_speeds_feasible(self):
+        # The Section 2.2 requirement: 14 cm/s + 19 deg/s... with the
+        # 25G link (whose mixed tolerance the paper matches to it).
+        inputs = inputs_for(link_25g())
+        assert mixed_speed_feasible(inputs, 0.14, np.radians(15.0))
+
+    def test_extreme_speeds_infeasible(self):
+        inputs = inputs_for(link_10g_diverging())
+        assert not mixed_speed_feasible(inputs, 1.0, np.radians(100.0))
+
+    def test_mixed_tighter_than_pure(self):
+        inputs = inputs_for(link_10g_diverging())
+        pure_ang = angular_speed_limit_rad_s(inputs)
+        # At the pure angular limit, adding linear speed breaks it.
+        assert not mixed_speed_feasible(inputs, 0.2, pure_ang * 0.99)
+
+    def test_boundary_consistency_with_pure_limits(self):
+        inputs = inputs_for(link_10g_diverging())
+        pure_lin = linear_speed_limit_m_s(inputs)
+        assert mixed_speed_feasible(inputs, pure_lin * 0.95, 0.0)
+        assert not mixed_speed_feasible(inputs, pure_lin * 1.05, 0.0)

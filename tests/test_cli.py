@@ -1,0 +1,87 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_rejects_unknown_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["frobnicate"])
+
+    def test_plan_defaults(self):
+        args = build_parser().parse_args(["plan"])
+        assert args.width == 3.0
+        assert args.coverage == 0.95
+
+    def test_calibrate_options(self):
+        args = build_parser().parse_args(
+            ["calibrate", "--seed", "11", "--trials", "5"])
+        assert args.seed == 11
+        assert args.trials == 5
+
+
+class TestCommands:
+    def test_table1(self, capsys):
+        assert main(["table1"]) == 0
+        out = capsys.readouterr().out
+        assert "collimated" in out
+        assert "diverging" in out
+
+    def test_fig11(self, capsys):
+        assert main(["fig11"]) == 0
+        out = capsys.readouterr().out
+        assert "beam at RX" in out
+        assert "16" in out
+
+    def test_formats(self, capsys):
+        assert main(["formats"]) == 0
+        out = capsys.readouterr().out
+        assert "life-like" in out
+        assert "fits 25G" in out
+
+    def test_safety(self, capsys):
+        assert main(["safety"]) == 0
+        out = capsys.readouterr().out
+        assert "hazard" in out
+
+    def test_plan(self, capsys):
+        assert main(["plan", "--width", "1.5", "--depth", "1.5",
+                     "--coverage", "0.8"]) == 0
+        out = capsys.readouterr().out
+        assert "TXs" in out
+        assert "TX 0" in out
+
+    def test_traces_small(self, capsys):
+        assert main(["traces", "--viewers", "2", "--videos", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "availability" in out
+
+    def test_calibrate_small(self, capsys):
+        assert main(["calibrate", "--seed", "3", "--trials", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "realign trials at optimal: 3/3" in out
+
+
+class TestScenarioCommands:
+    def test_scenarios_listing(self, capsys):
+        assert main(["scenarios"]) == 0
+        out = capsys.readouterr().out
+        assert "table1" in out
+        assert "fig16" in out
+
+    def test_scenario_quick_run(self, capsys):
+        assert main(["scenario", "thresholds"]) == 0
+        out = capsys.readouterr().out
+        assert "linear_limit_cm_s" in out
+        assert "pytest" in out  # points at the full bench
+
+    def test_scenario_unknown_id(self, capsys):
+        assert main(["scenario", "fig99"]) == 2
+        out = capsys.readouterr().out
+        assert "available" in out

@@ -1,0 +1,89 @@
+"""Tests for the exhaustive alignment search and Lemma 1."""
+
+import numpy as np
+import pytest
+
+from repro.core import point, rank_agreement, search, sweep
+from repro.core.lemma import LemmaCheck
+from repro.vrh import Pose
+
+
+class TestSearch:
+    def test_finds_peak_of_quadratic_surface(self):
+        optimum = np.array([0.3, -0.2, 0.15, 0.05])
+
+        def power(*vs):
+            return -10.0 - 40.0 * float(
+                np.sum((np.array(vs) - optimum) ** 2))
+
+        result = search(power, seed=(0.0, 0.0, 0.0, 0.0))
+        assert np.allclose(result.voltages, optimum, atol=2e-3)
+
+    def test_counts_evaluations(self):
+        calls = []
+
+        def power(*vs):
+            calls.append(vs)
+            return -float(np.sum(np.square(vs)))
+
+        result = search(power, seed=(0.1, 0.1, 0.1, 0.1))
+        assert result.evaluations == len(calls)
+
+    def test_rejects_wrong_seed_length(self):
+        with pytest.raises(ValueError):
+            search(lambda *v: 0.0, seed=(0.0, 0.0))
+
+    def test_on_testbed_reaches_near_peak(self, testbed):
+        pose = testbed.home_pose
+        result = testbed.align_exhaustively(pose)
+        peak = testbed.design.peak_power_dbm(
+            testbed.channel.evaluate(pose).range_m)
+        assert result.power_dbm > peak - 1.0
+
+    def test_improves_on_seed(self, testbed):
+        pose = testbed.home_pose
+        report = Pose.from_transform(
+            testbed.tracker.true_report_transform(pose))
+        seed_cmd = point(testbed.oracle_system(), report)
+        testbed.apply_command(seed_cmd)
+        seed_power = testbed.channel.received_power_dbm(pose)
+        result = testbed.align_exhaustively(pose)
+        assert result.power_dbm >= seed_power - 1e-9
+
+
+class TestLemma1:
+    def test_rank_agreement_on_testbed(self, testbed):
+        """Power ranks (inversely) with the coincidence error."""
+        pose = testbed.home_pose
+        aligned = testbed.align_exhaustively(pose).voltages
+        power_fn = testbed.power_function(pose)
+
+        def coincidence(*voltages):
+            testbed.tx_hardware.apply(voltages[0], voltages[1])
+            testbed.rx_hardware.apply(voltages[2], voltages[3])
+            return testbed.channel.lemma_points(pose).error
+
+        rng = np.random.default_rng(5)
+        voltage_sets = [np.array(aligned) + rng.normal(0, scale, 4)
+                        for scale in (0.0, 0.01, 0.02, 0.05, 0.1)
+                        for _ in range(4)]
+        checks = sweep(power_fn, coincidence, voltage_sets)
+        assert rank_agreement(checks) > 0.7
+
+    def test_aligned_configuration_minimizes_coincidence(self, testbed):
+        pose = testbed.home_pose
+        aligned = testbed.align_exhaustively(pose).voltages
+        testbed.tx_hardware.apply(aligned[0], aligned[1])
+        testbed.rx_hardware.apply(aligned[2], aligned[3])
+        error_aligned = testbed.channel.lemma_points(pose).error
+        rng = np.random.default_rng(6)
+        for _ in range(5):
+            vs = np.array(aligned) + rng.normal(0, 0.08, 4)
+            testbed.tx_hardware.apply(vs[0], vs[1])
+            testbed.rx_hardware.apply(vs[2], vs[3])
+            assert testbed.channel.lemma_points(pose).error \
+                >= error_aligned - 1e-3
+
+    def test_rank_agreement_needs_three_checks(self):
+        with pytest.raises(ValueError):
+            rank_agreement([LemmaCheck(0.0, 0.0), LemmaCheck(1.0, -1.0)])

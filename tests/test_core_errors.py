@@ -1,0 +1,58 @@
+"""Unit tests for the Table 2 error metrics."""
+
+import numpy as np
+import pytest
+
+from repro.core import beam_error_m, summarize
+from repro.geometry import Ray
+
+
+class TestBeamError:
+    def test_identical_beams_zero_error(self):
+        beam = Ray([0, 0, 0], [0, 0, 1])
+        assert beam_error_m(beam, beam, 1.75) == pytest.approx(0.0)
+
+    def test_pure_angular_error_scales_with_range(self):
+        truth = Ray([0, 0, 0], [0, 0, 1])
+        tilted = Ray([0, 0, 0], [1e-3, 0, 1])
+        near = beam_error_m(tilted, truth, 1.0)
+        far = beam_error_m(tilted, truth, 2.0)
+        assert far == pytest.approx(2 * near, rel=1e-5)
+        assert near == pytest.approx(1e-3, rel=1e-3)
+
+    def test_pure_lateral_error_is_offset(self):
+        truth = Ray([0, 0, 0], [0, 0, 1])
+        shifted = Ray([2e-3, 0, 0], [0, 0, 1])
+        assert beam_error_m(shifted, truth, 1.75) == pytest.approx(2e-3)
+
+    def test_origin_slide_along_beam_is_free(self):
+        # Gauge freedom: an origin moved along the beam line is the
+        # same physical beam; the metric must not punish it.
+        truth = Ray([0, 0, 0], [0, 0, 1])
+        slid = Ray([0, 0, 0.3], [0, 0, 1])
+        assert beam_error_m(slid, truth, 1.75) == pytest.approx(0.0,
+                                                                abs=1e-12)
+
+    def test_rejects_nonpositive_range(self):
+        beam = Ray([0, 0, 0], [0, 0, 1])
+        with pytest.raises(ValueError):
+            beam_error_m(beam, beam, 0.0)
+
+
+class TestSummarize:
+    def test_average_and_max(self):
+        summary = summarize("s", [1e-3, 2e-3, 3e-3])
+        assert summary.average_mm == pytest.approx(2.0)
+        assert summary.maximum_mm == pytest.approx(3.0)
+        assert summary.count == 3
+
+    def test_accepts_generators(self):
+        summary = summarize("s", (x * 1e-3 for x in range(1, 4)))
+        assert summary.count == 3
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            summarize("s", [])
+
+    def test_label_preserved(self):
+        assert summarize("combined-rx", [1e-3]).label == "combined-rx"

@@ -1,0 +1,84 @@
+"""Unit tests for the GMA model wrapper and its vectorized trace."""
+
+import numpy as np
+import pytest
+
+from repro.core import GmaModel, board_hits, trace_batch
+from repro.core.kspace import BOARD_PLANE
+from repro.galvo import canonical_gma, trace
+from repro.geometry import RigidTransform, rotation_matrix
+
+
+@pytest.fixture()
+def model():
+    return GmaModel(canonical_gma(np.radians(1.0)))
+
+
+class TestGmaModel:
+    def test_beam_matches_scalar_trace(self, model):
+        beam = model.beam(0.7, -0.4)
+        reference = trace(model.params, 0.7, -0.4)
+        assert np.allclose(beam.origin, reference.origin)
+        assert np.allclose(beam.direction, reference.direction)
+
+    def test_second_mirror_plane_holds_origin(self, model):
+        plane = model.second_mirror_plane(1.1, 0.6)
+        beam = model.beam(1.1, 0.6)
+        assert plane.contains(beam.origin, tol=1e-9)
+
+    def test_transformed_model(self, model):
+        t = RigidTransform(rotation_matrix([0, 0, 1], 0.3),
+                           np.array([1.0, 0.0, 0.0]))
+        moved = model.transformed(t)
+        expected = t.apply_ray(model.beam(0.5, 0.5))
+        beam = moved.beam(0.5, 0.5)
+        assert np.allclose(beam.origin, expected.origin, atol=1e-12)
+        assert np.allclose(beam.direction, expected.direction, atol=1e-12)
+
+
+class TestTraceBatch:
+    def test_matches_scalar_trace(self, model):
+        v1 = np.array([-2.0, 0.0, 1.5, 3.3])
+        v2 = np.array([1.0, 0.0, -0.5, 2.2])
+        origins, directions = trace_batch(model.params.to_vector(), v1, v2)
+        for i in range(len(v1)):
+            ref = trace(model.params, float(v1[i]), float(v2[i]))
+            assert np.allclose(origins[i], ref.origin, atol=1e-12)
+            assert np.allclose(directions[i], ref.direction, atol=1e-12)
+
+    def test_handles_single_sample(self, model):
+        origins, directions = trace_batch(
+            model.params.to_vector(), np.array([0.5]), np.array([0.5]))
+        assert origins.shape == (1, 3)
+        assert directions.shape == (1, 3)
+
+    def test_large_batch_shape(self, model):
+        n = 500
+        v = np.linspace(-4, 4, n)
+        origins, directions = trace_batch(model.params.to_vector(), v, -v)
+        assert origins.shape == (n, 3)
+        assert np.all(np.isfinite(origins))
+
+
+class TestBoardHits:
+    def test_matches_plane_intersection(self, model):
+        # Hardware placed facing a board (like the K-space rig).
+        flip = RigidTransform(rotation_matrix([1, 0, 0], np.pi),
+                              np.array([0.0, 0.0, 1.5]))
+        placed = model.transformed(flip)
+        v1 = np.array([0.3, -1.2])
+        v2 = np.array([-0.8, 0.9])
+        hits = board_hits(placed.params.to_vector(), v1, v2, BOARD_PLANE)
+        for i in range(2):
+            beam = placed.beam(float(v1[i]), float(v2[i]))
+            expected = BOARD_PLANE.intersect_ray(beam)
+            assert np.allclose(hits[i], expected, atol=1e-10)
+
+    def test_parallel_beam_yields_nonfinite(self, model):
+        # The canonical rest beam travels +z; a plane with normal +y is
+        # parallel to it and can never be hit.
+        from repro.geometry import Plane
+        sideways = Plane([10.0, 0.0, 0.0], [0.0, 1.0, 0.0])
+        hits = board_hits(model.params.to_vector(),
+                          np.array([0.0]), np.array([0.0]), sideways)
+        assert not np.all(np.isfinite(hits))

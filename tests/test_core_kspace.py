@@ -1,0 +1,128 @@
+"""Unit tests for the K-space calibration machinery."""
+
+import numpy as np
+import pytest
+
+from repro import constants
+from repro.core import BoardRig, fit_gma, interior_grid_points
+from repro.core.kspace import BOARD_PLANE, BoardSample, _prior_sigmas
+from repro.galvo import GalvoHardware, canonical_gma
+from repro.geometry import euler_to_matrix, RigidTransform
+
+
+def board_hardware(seed=0, nonlinearity=0.0):
+    """Hardware placed facing the board, K-space style."""
+    params = canonical_gma(np.radians(1.0))
+    flip = RigidTransform(euler_to_matrix(np.pi, 0.0, 0.0),
+                          np.zeros(3))
+    placed = params.transformed(flip)
+    shift = RigidTransform(
+        np.eye(3),
+        np.array([0.0, 0.0, constants.KSPACE_BOARD_DISTANCE_M])
+        - placed.q2 * 0 + np.array([0, 0, 0]))
+    # Land the second mirror at z = 1.5 m.
+    target = np.array([0.0, 0.0, constants.KSPACE_BOARD_DISTANCE_M])
+    translation = target - placed.q2
+    placed = placed.transformed(RigidTransform(np.eye(3), translation))
+    return GalvoHardware(placed, nonlinearity=nonlinearity,
+                         rng=np.random.default_rng(seed))
+
+
+class TestInteriorGrid:
+    def test_paper_sample_count(self):
+        grid = interior_grid_points()
+        assert len(grid) == constants.KSPACE_INTERIOR_SAMPLES  # 266
+
+    def test_centered_on_board(self):
+        grid = interior_grid_points()
+        center = grid.mean(axis=0)
+        assert np.allclose(center, [0.0, 0.0], atol=1e-9)
+
+    def test_one_inch_spacing(self):
+        grid = interior_grid_points()
+        xs = np.unique(grid[:, 0])
+        assert np.allclose(np.diff(xs), constants.KSPACE_CELL_SIZE_M)
+
+    def test_custom_dimensions(self):
+        grid = interior_grid_points(columns=5, rows=4, cell_m=0.01)
+        assert len(grid) == 4 * 3
+
+
+class TestBoardRig:
+    def test_beam_hits_board(self):
+        rig = BoardRig(board_hardware(), rng=np.random.default_rng(1))
+        rig.hardware.apply(0.0, 0.0)
+        hit = rig.beam_board_hit()
+        assert abs(hit[2]) < 1e-9  # on the z=0 plane
+        assert np.linalg.norm(hit[:2]) < 0.1  # near board center
+
+    def test_warp_bias_is_systematic(self):
+        rig = BoardRig(board_hardware(), rng=np.random.default_rng(1))
+        a = rig.warp_bias([0.1, 0.05])
+        b = rig.warp_bias([0.1, 0.05])
+        assert np.allclose(a, b)  # same point, same bias
+
+    def test_warp_bias_bounded(self):
+        rig = BoardRig(board_hardware(), rng=np.random.default_rng(1))
+        for point in interior_grid_points()[:30]:
+            assert np.linalg.norm(rig.warp_bias(point)) <= \
+                np.sqrt(2) * rig.warp_bias_m + 1e-12
+
+    def test_voltages_hitting_converges(self):
+        rig = BoardRig(board_hardware(), rng=np.random.default_rng(1),
+                       warp_bias_m=0.0)
+        v1, v2 = rig.voltages_hitting([0.1, -0.05])
+        rig.hardware.apply(v1, v2)
+        hit = rig.beam_board_hit()[:2]
+        assert np.linalg.norm(hit - [0.1, -0.05]) < 1e-4
+
+    def test_collect_samples_count_and_targets(self):
+        rig = BoardRig(board_hardware(), rng=np.random.default_rng(2))
+        grid = interior_grid_points()[:10]
+        samples = rig.collect_samples(grid)
+        assert len(samples) == 10
+        for sample, target in zip(samples, grid):
+            assert sample.x == pytest.approx(target[0])
+            assert sample.y == pytest.approx(target[1])
+
+    def test_unreachable_target_raises(self):
+        rig = BoardRig(board_hardware(), rng=np.random.default_rng(1))
+        with pytest.raises(RuntimeError):
+            rig.voltages_hitting([5.0, 5.0])  # far outside the cone
+
+
+class TestFitGma:
+    def test_rejects_empty_samples(self):
+        with pytest.raises(ValueError):
+            fit_gma([], canonical_gma(np.radians(1.0)))
+
+    def test_perfect_hardware_fits_tightly(self):
+        # Zero noise, zero warp, zero nonlinearity: the fit should
+        # predict held-out board hits to within the DAC/jitter floor.
+        hardware = board_hardware(seed=3)
+        rig = BoardRig(hardware, rng=np.random.default_rng(3),
+                       eye_noise_m=0.0, warp_bias_m=0.0)
+        grid = interior_grid_points()[::6]
+        samples = rig.collect_samples(grid)
+        model = fit_gma(samples, hardware.params)
+        holdout = interior_grid_points()[3::12]
+        for target in holdout:
+            v1, v2 = rig.voltages_hitting(target)
+            predicted = BOARD_PLANE.intersect_ray(
+                model.beam(v1, v2))[:2]
+            assert np.linalg.norm(predicted - target) < 0.4e-3
+
+    def test_prior_sigmas_structure(self):
+        initial = canonical_gma(np.radians(1.0)).to_vector()
+        sigmas = _prior_sigmas(initial)
+        assert sigmas.shape == (25,)
+        assert np.all(sigmas > 0)
+        # theta prior scales with theta itself.
+        assert sigmas[24] == pytest.approx(0.02 * initial[24])
+
+
+class TestBoardSample:
+    def test_is_value_object(self):
+        a = BoardSample(x=0.1, y=0.2, v1=1.0, v2=-1.0)
+        b = BoardSample(x=0.1, y=0.2, v1=1.0, v2=-1.0)
+        assert a == b

@@ -1,0 +1,165 @@
+"""Integration tests for the learning pipeline (Sections 4.1-4.3).
+
+These run against the session-scoped calibrated testbed and verify the
+paper's headline algorithmic claims: calibration accuracy in the
+Table 2 regime, pointing convergence in 2-5 iterations, and TP accuracy
+good enough to keep the link at optimal power (Section 5.2).
+"""
+
+import numpy as np
+import pytest
+
+from repro import constants
+from repro.core import (
+    BoardRig,
+    evaluate_fit,
+    interior_grid_points,
+    mean_coincidence_error_m,
+    point,
+)
+from repro.core.errors import beam_error_m, summarize
+from repro.vrh import Pose
+
+
+class TestKspaceCalibration:
+    """Stage 1 (Section 4.1 / Table 2 rows 1-2)."""
+
+    @pytest.fixture(scope="class")
+    def holdout_errors(self, testbed, calibration):
+        errors = {}
+        centers = interior_grid_points()[:60] + np.array([0.0127, 0.0127])
+        for name, hardware, model in (
+                ("tx", testbed.tx_hardware, calibration.tx_kspace_model),
+                ("rx", testbed.rx_hardware, calibration.rx_kspace_model)):
+            rig = BoardRig(hardware, rng=np.random.default_rng(99))
+            errors[name] = evaluate_fit(model, rig, centers)
+        return errors
+
+    def test_tx_stage1_error_in_table2_regime(self, holdout_errors):
+        avg_mm = holdout_errors["tx"].mean() * 1e3
+        assert 0.3 <= avg_mm <= 2.5  # paper: 1.24 mm
+
+    def test_rx_stage1_error_in_table2_regime(self, holdout_errors):
+        avg_mm = holdout_errors["rx"].mean() * 1e3
+        assert 0.3 <= avg_mm <= 3.0  # paper: 1.90 mm
+
+    def test_max_errors_bounded(self, holdout_errors):
+        for errors in holdout_errors.values():
+            assert errors.max() * 1e3 <= 6.0  # paper maxima: 5.3-5.4 mm
+
+    def test_fit_beats_initial_cad_guess(self, testbed, calibration):
+        # The fitted model must predict far better than the raw truth
+        # evaluated with the linear voltage model... i.e. better than a
+        # couple of millimeters on held-out points (checked above); and
+        # its parameters must differ from the truth (it absorbed the
+        # nonlinearity and warp into them).
+        fitted = calibration.tx_kspace_model.params.to_vector()
+        truth = testbed.tx_hardware.params.to_vector()
+        assert not np.allclose(fitted, truth, atol=1e-12)
+
+
+class TestMappingFit:
+    """Stage 2 (Section 4.2)."""
+
+    def test_training_residual_is_millimetric(self, calibration):
+        residual = mean_coincidence_error_m(
+            calibration.system, calibration.mapping_samples)
+        # Sum of two point-pair distances; paper's combined errors are
+        # 2.18 + 4.54 mm, so the residual should sit below ~12 mm.
+        assert residual < 12e-3
+
+    def test_generalizes_to_fresh_alignments(self, testbed, calibration):
+        fresh = testbed.collect_mapping_samples(6)
+        residual = mean_coincidence_error_m(calibration.system, fresh)
+        assert residual < 15e-3
+
+    def test_sample_count_matches_paper(self, calibration):
+        assert len(calibration.mapping_samples) == \
+            constants.MAPPING_TRAINING_SAMPLES
+
+
+class TestCombinedErrors:
+    """Table 2 rows 3-4: learned VR-space beams vs physical truth."""
+
+    @pytest.fixture(scope="class")
+    def combined(self, testbed, calibration):
+        system = calibration.system
+        vr = testbed.world_to_vr()
+        tx_errors, rx_errors = [], []
+        for pose in testbed.evaluation_poses(12):
+            report = testbed.tracker.report(pose)
+            rx_model = system.rx_model_vr(report)
+            for v1, v2 in [(-1.0, 0.5), (0.8, -0.3), (2.0, 1.0)]:
+                testbed.tx_hardware.apply(v1, v2)
+                truth = vr.compose(testbed.tx_kspace_to_world).apply_ray(
+                    testbed.tx_hardware.output_beam())
+                predicted = system.tx_model_vr.beam(v1, v2)
+                tx_errors.append(beam_error_m(predicted, truth, 1.75))
+
+                testbed.rx_hardware.apply(v1, v2)
+                rx_truth = vr.compose(
+                    testbed.rx_assembly.kspace_to_world(pose)).apply_ray(
+                        testbed.rx_hardware.output_beam())
+                rx_pred = rx_model.beam(v1, v2)
+                rx_errors.append(beam_error_m(rx_pred, rx_truth, 1.75))
+        return (summarize("tx", tx_errors), summarize("rx", rx_errors))
+
+    def test_tx_combined_millimetric(self, combined):
+        tx, _ = combined
+        assert 0.2 <= tx.average_mm <= 5.0  # paper: 2.18 mm
+
+    def test_rx_combined_millimetric(self, combined):
+        _, rx = combined
+        assert 0.2 <= rx.average_mm <= 8.0  # paper: 4.54 mm
+
+    def test_rx_error_exceeds_tx_error(self, combined):
+        # The paper attributes the larger RX error to its pose-relative
+        # placement; in our model the tracker noise plays that role.
+        tx, rx = combined
+        assert rx.average_mm > 0.8 * tx.average_mm
+
+
+class TestPointing:
+    """Section 4.3's pointing mechanism P."""
+
+    def test_converges_in_paper_iterations(self, testbed, learned_system):
+        for pose in testbed.evaluation_poses(6):
+            command = point(learned_system, testbed.tracker.report(pose))
+            assert 1 <= command.iterations <= 8  # paper: 2-5
+
+    def test_keeps_link_connected(self, testbed, learned_system):
+        connected = 0
+        poses = testbed.evaluation_poses(10)
+        for pose in poses:
+            command = point(learned_system, testbed.tracker.report(pose))
+            testbed.apply_command(command)
+            if testbed.channel.evaluate(pose).connected:
+                connected += 1
+        assert connected == len(poses)  # paper: 10/10 optimal
+
+    def test_power_within_few_db_of_peak(self, testbed, learned_system):
+        # Section 5.2: received -13..-14 dBm vs -10 dBm peak.
+        excesses = []
+        for pose in testbed.evaluation_poses(10):
+            command = point(learned_system, testbed.tracker.report(pose))
+            testbed.apply_command(command)
+            state = testbed.channel.evaluate(pose)
+            peak = testbed.design.peak_power_dbm(state.range_m)
+            excesses.append(peak - state.received_power_dbm)
+        assert float(np.mean(excesses)) < 6.0
+
+    def test_warm_seed_speeds_convergence(self, testbed, learned_system):
+        pose = testbed.evaluation_poses(1)[0]
+        report = testbed.tracker.report(pose)
+        cold = point(learned_system, report)
+        warm = point(learned_system, report,
+                     initial=(cold.v_tx1, cold.v_tx2,
+                              cold.v_rx1, cold.v_rx2))
+        assert warm.iterations <= cold.iterations
+
+    def test_command_voltages_in_range(self, testbed, learned_system):
+        for pose in testbed.evaluation_poses(5):
+            command = point(learned_system, testbed.tracker.report(pose))
+            for v in (command.v_tx1, command.v_tx2,
+                      command.v_rx1, command.v_rx2):
+                assert abs(v) <= constants.GM_VOLTAGE_RANGE_V

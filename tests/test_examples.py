@@ -1,0 +1,43 @@
+"""Smoke tests for the example scripts.
+
+Every example must at least compile; the fast ones also run end to
+end (the slow, session-driving ones are exercised by the benches that
+share their code paths).
+"""
+
+import pathlib
+import py_compile
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).parent.parent / "examples"
+ALL_EXAMPLES = sorted(EXAMPLES_DIR.glob("*.py"))
+FAST_EXAMPLES = ("link_designer.py", "room_deployment.py")
+
+
+class TestExamples:
+    def test_examples_exist(self):
+        names = {path.name for path in ALL_EXAMPLES}
+        assert "quickstart.py" in names
+        assert len(names) >= 5  # the deliverable asks for >= 3
+
+    @pytest.mark.parametrize("path", ALL_EXAMPLES,
+                             ids=lambda p: p.name)
+    def test_example_compiles(self, path):
+        py_compile.compile(str(path), doraise=True)
+
+    @pytest.mark.parametrize("name", FAST_EXAMPLES)
+    def test_fast_example_runs(self, name):
+        completed = subprocess.run(
+            [sys.executable, str(EXAMPLES_DIR / name)],
+            capture_output=True, text=True, timeout=180)
+        assert completed.returncode == 0, completed.stderr
+        assert completed.stdout.strip()
+
+    def test_every_example_has_usage_docstring(self):
+        for path in ALL_EXAMPLES:
+            source = path.read_text()
+            assert source.lstrip().startswith('"""'), path.name
+            assert f"python examples/{path.name}" in source, path.name

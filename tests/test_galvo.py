@@ -1,0 +1,201 @@
+"""Unit tests for the galvo hardware substrate."""
+
+import numpy as np
+import pytest
+
+from repro.galvo import (
+    Daq,
+    GVS102,
+    GalvoHardware,
+    GalvoSpec,
+    GmaParams,
+    canonical_gma,
+    mirror_planes,
+    trace,
+)
+from repro.geometry import RigidTransform, angle_between, rotation_matrix
+
+
+def quiet_hardware(**kwargs):
+    """Hardware with jitter disabled for exact-geometry tests."""
+    spec = GalvoSpec(name="quiet", volts_per_optical_degree=0.5,
+                     voltage_range_v=10.0, angular_accuracy_rad=0.0,
+                     small_angle_latency_s=300e-6,
+                     max_beam_diameter_m=10e-3)
+    params = kwargs.pop("params", canonical_gma(np.radians(1.0)))
+    return GalvoHardware(params, spec=spec,
+                         rng=np.random.default_rng(0), **kwargs)
+
+
+class TestSpecs:
+    def test_gvs102_mechanical_scale(self):
+        # 0.5 V per optical degree -> 1 mech degree per volt.
+        assert GVS102.mech_rad_per_volt == pytest.approx(np.radians(1.0))
+
+    def test_max_mech_angle(self):
+        assert GVS102.max_mech_angle_rad == pytest.approx(np.radians(10.0))
+
+    def test_settle_time_small_step(self):
+        assert GVS102.settle_time_s(np.radians(0.1)) == pytest.approx(
+            300e-6)
+
+    def test_settle_time_grows_with_step(self):
+        small = GVS102.settle_time_s(np.radians(0.2))
+        large = GVS102.settle_time_s(np.radians(3.2))
+        assert large == pytest.approx(small * 4.0)
+
+    def test_rejects_bad_scale(self):
+        with pytest.raises(ValueError):
+            GalvoSpec("bad", 0.0, 10.0, 1e-5, 3e-4, 1e-2)
+
+
+class TestDaq:
+    def test_voltage_step_16_bit(self):
+        daq = Daq()
+        assert daq.voltage_step_v == pytest.approx(20.0 / 65536)
+
+    def test_quantize_rounds_to_grid(self):
+        daq = Daq()
+        v = daq.quantize(1.23456789)
+        assert abs(v - 1.23456789) <= daq.voltage_step_v / 2
+
+    def test_quantize_clamps(self):
+        daq = Daq()
+        assert daq.quantize(15.0) == pytest.approx(10.0)
+        assert daq.quantize(-15.0) == pytest.approx(-10.0)
+
+    def test_in_range(self):
+        daq = Daq()
+        assert daq.in_range(9.99)
+        assert not daq.in_range(10.01)
+
+    def test_rejects_bad_construction(self):
+        with pytest.raises(ValueError):
+            Daq(bits=0)
+        with pytest.raises(ValueError):
+            Daq(voltage_range_v=0.0)
+
+
+class TestGmaParams:
+    def test_vector_round_trip(self):
+        params = canonical_gma(np.radians(1.0))
+        rebuilt = GmaParams.from_vector(params.to_vector())
+        assert np.allclose(rebuilt.to_vector(), params.to_vector())
+
+    def test_from_vector_rejects_wrong_length(self):
+        with pytest.raises(ValueError):
+            GmaParams.from_vector(np.zeros(24))
+
+    def test_rejects_nonpositive_theta(self):
+        params = canonical_gma(np.radians(1.0))
+        vector = params.to_vector()
+        vector[24] = 0.0
+        with pytest.raises(ValueError):
+            GmaParams.from_vector(vector)
+
+    def test_transformed_moves_points_and_rotates_directions(self):
+        params = canonical_gma(np.radians(1.0))
+        shift = RigidTransform(np.eye(3), np.array([1.0, 2.0, 3.0]))
+        moved = params.transformed(shift)
+        assert np.allclose(moved.q2, params.q2 + [1, 2, 3])
+        assert np.allclose(moved.x0, params.x0)  # translation only
+
+    def test_transform_commutes_with_trace(self):
+        # Tracing then transforming == transforming then tracing.
+        params = canonical_gma(np.radians(1.0))
+        t = RigidTransform(rotation_matrix([0, 1, 0], 0.4),
+                           np.array([0.3, -0.2, 1.0]))
+        beam_then = t.apply_ray(trace(params, 1.2, -0.7))
+        then_beam = trace(params.transformed(t), 1.2, -0.7)
+        assert np.allclose(beam_then.origin, then_beam.origin, atol=1e-12)
+        assert np.allclose(beam_then.direction, then_beam.direction,
+                           atol=1e-12)
+
+
+class TestTrace:
+    def test_rest_beam_exits_up(self):
+        beam = trace(canonical_gma(np.radians(1.0)), 0.0, 0.0)
+        assert np.allclose(beam.direction, [0, 0, 1], atol=1e-9)
+
+    def test_one_volt_deflects_two_optical_degrees(self):
+        params = canonical_gma(np.radians(1.0))
+        rest = trace(params, 0.0, 0.0)
+        steered = trace(params, 0.0, 1.0)
+        deflection = angle_between(rest.direction, steered.direction)
+        assert deflection == pytest.approx(np.radians(2.0), rel=1e-3)
+
+    def test_first_mirror_voltage_also_steers(self):
+        params = canonical_gma(np.radians(1.0))
+        rest = trace(params, 0.0, 0.0)
+        steered = trace(params, 1.0, 0.0)
+        assert angle_between(rest.direction, steered.direction) > 1e-3
+
+    def test_origin_moves_with_voltage(self):
+        # The distortion effect (footnote 6): p depends on voltages.
+        params = canonical_gma(np.radians(1.0))
+        rest = trace(params, 0.0, 0.0)
+        steered = trace(params, 4.0, 0.0)
+        assert np.linalg.norm(steered.origin - rest.origin) > 1e-4
+
+    def test_mirror_planes_pivot_fixed(self):
+        params = canonical_gma(np.radians(1.0))
+        a = mirror_planes(params, 0.0, 0.0)
+        b = mirror_planes(params, 0.1, -0.1)
+        assert np.allclose(a[0].point, b[0].point)
+        assert np.allclose(a[1].point, b[1].point)
+        assert not np.allclose(a[0].normal, b[0].normal)
+
+
+class TestGalvoHardware:
+    def test_voltages_quantized(self):
+        hw = quiet_hardware()
+        hw.apply(1.000001, -2.000001)
+        v1, v2 = hw.voltages
+        step = hw.daq.voltage_step_v
+        assert abs(v1 / step - round(v1 / step)) < 1e-6
+
+    def test_rejects_out_of_range(self):
+        hw = quiet_hardware()
+        with pytest.raises(ValueError):
+            hw.apply(10.5, 0.0)
+
+    def test_settle_time_positive_on_move(self):
+        hw = quiet_hardware()
+        assert hw.apply(2.0, 0.0) > 0.0
+
+    def test_quiet_hardware_matches_model(self):
+        hw = quiet_hardware()
+        hw.apply(1.5, -0.5)
+        model_beam = trace(hw.params, *hw.voltages)
+        hw_beam = hw.output_beam()
+        assert np.allclose(hw_beam.origin, model_beam.origin, atol=1e-12)
+        assert np.allclose(hw_beam.direction, model_beam.direction,
+                           atol=1e-12)
+
+    def test_nonlinearity_bends_response(self):
+        hw = quiet_hardware(nonlinearity=1e-3)
+        hw.apply(5.0, 0.0)
+        bent = hw.output_beam()
+        linear = trace(hw.params, 5.0, 0.0)
+        assert angle_between(bent.direction, linear.direction) > 1e-4
+
+    def test_jitter_draws_once_per_apply(self):
+        params = canonical_gma(np.radians(1.0))
+        hw = GalvoHardware(params, rng=np.random.default_rng(7))
+        hw.apply(1.0, 1.0)
+        a = hw.output_beam()
+        b = hw.output_beam()
+        assert np.allclose(a.direction, b.direction)
+
+    def test_second_mirror_plane_consistent_with_beam(self):
+        hw = quiet_hardware()
+        hw.apply(0.8, -1.3)
+        plane = hw.second_mirror_plane()
+        beam = hw.output_beam()
+        # The output beam originates on the second mirror plane.
+        assert plane.contains(beam.origin, tol=1e-9)
+
+    def test_beam_for_is_apply_plus_output(self):
+        hw = quiet_hardware()
+        beam = hw.beam_for(0.3, 0.4)
+        assert np.allclose(beam.origin, hw.output_beam().origin)

@@ -1,0 +1,95 @@
+"""Tests for the second-order galvo servo model."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro import constants
+from repro.galvo import GVS102
+from repro.galvo.servo import SMALL_STEP_RAD, ServoModel
+
+
+@pytest.fixture()
+def servo():
+    return ServoModel.calibrated()
+
+
+class TestCalibration:
+    def test_small_step_settles_in_datasheet_time(self, servo):
+        t = servo.settle_time_s(SMALL_STEP_RAD)
+        assert t == pytest.approx(constants.GM_SMALL_ANGLE_LATENCY_S,
+                                  rel=1e-3)
+
+    def test_rejects_bad_construction(self):
+        with pytest.raises(ValueError):
+            ServoModel(natural_frequency_rad_s=0.0)
+        with pytest.raises(ValueError):
+            ServoModel(natural_frequency_rad_s=1e4, accuracy_rad=0.0)
+
+
+class TestStepResponse:
+    def test_starts_at_start(self, servo):
+        assert servo.angle_at(0.0, 0.1, 0.2) == pytest.approx(0.1)
+
+    def test_converges_to_target(self, servo):
+        assert servo.angle_at(5e-3, 0.1, 0.2) == pytest.approx(0.2,
+                                                               abs=1e-9)
+
+    def test_no_overshoot(self, servo):
+        # Critically damped: the trajectory is monotone.
+        times = np.linspace(0, 2e-3, 200)
+        angles = [servo.angle_at(float(t), 0.0, 0.01) for t in times]
+        assert all(b >= a - 1e-15 for a, b in zip(angles, angles[1:]))
+        assert max(angles) <= 0.01 + 1e-12
+
+    def test_downward_step_symmetric(self, servo):
+        up = servo.angle_at(1e-4, 0.0, 0.01)
+        down = servo.angle_at(1e-4, 0.01, 0.0)
+        assert up == pytest.approx(0.01 - down)
+
+    def test_rejects_negative_time(self, servo):
+        with pytest.raises(ValueError):
+            servo.angle_at(-1.0, 0.0, 0.1)
+
+
+class TestSettleTime:
+    def test_zero_for_subresolution_step(self, servo):
+        assert servo.settle_time_s(1e-6) == 0.0
+
+    def test_grows_with_step(self, servo):
+        small = servo.settle_time_s(math.radians(0.2))
+        large = servo.settle_time_s(math.radians(5.0))
+        assert large > small
+
+    def test_growth_is_logarithmic_not_linear(self, servo):
+        # A 25x bigger step costs far less than 25x the time.
+        small = servo.settle_time_s(math.radians(0.2))
+        large = servo.settle_time_s(math.radians(5.0))
+        assert large < 3 * small
+
+    def test_consistent_with_error_at(self, servo):
+        step = math.radians(2.0)
+        t = servo.settle_time_s(step)
+        assert servo.error_at(t, step) == pytest.approx(
+            servo.accuracy_rad, rel=1e-3)
+        assert servo.error_at(t * 0.5, step) > servo.accuracy_rad
+
+    def test_same_ballpark_as_spec_scaling(self, servo):
+        # The coarse spec-level model and the servo model agree within
+        # a small factor over the working range.
+        for deg in (0.2, 0.5, 1.0, 3.0):
+            step = math.radians(deg)
+            coarse = GVS102.settle_time_s(step)
+            fine = servo.settle_time_s(step)
+            assert fine == pytest.approx(coarse, rel=1.5)
+
+
+class TestErrorAt:
+    def test_initial_error_is_step(self, servo):
+        assert servo.error_at(0.0, 0.01) == pytest.approx(0.01)
+
+    def test_decays_monotonically(self, servo):
+        errors = [servo.error_at(t, 0.01)
+                  for t in np.linspace(0, 1e-3, 50)]
+        assert all(b <= a for a, b in zip(errors, errors[1:]))

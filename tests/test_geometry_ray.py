@@ -1,0 +1,74 @@
+"""Unit tests for repro.geometry.ray."""
+
+import numpy as np
+import pytest
+
+from repro.geometry import Ray, closest_approach, skew_gap
+
+
+class TestRay:
+    def test_direction_normalized(self):
+        ray = Ray([0, 0, 0], [0, 0, 5])
+        assert np.allclose(ray.direction, [0, 0, 1])
+
+    def test_point_at_is_metric(self):
+        ray = Ray([1, 0, 0], [0, 2, 0])
+        assert np.allclose(ray.point_at(3.0), [1, 3, 0])
+
+    def test_point_at_zero_is_origin(self):
+        ray = Ray([4, 5, 6], [1, 1, 1])
+        assert np.allclose(ray.point_at(0.0), [4, 5, 6])
+
+    def test_rejects_zero_direction(self):
+        with pytest.raises(ValueError):
+            Ray([0, 0, 0], [0, 0, 0])
+
+    def test_distance_to_point_on_ray_is_zero(self):
+        ray = Ray([0, 0, 0], [1, 0, 0])
+        assert ray.distance_to_point([7.3, 0, 0]) == pytest.approx(0.0)
+
+    def test_distance_to_offset_point(self):
+        ray = Ray([0, 0, 0], [1, 0, 0])
+        assert ray.distance_to_point([5, 3, 4]) == pytest.approx(5.0)
+
+    def test_distance_measured_to_line_not_segment(self):
+        # Points "behind" the origin measure to the infinite line: the
+        # TP algorithms treat beams as lines (gauge freedom).
+        ray = Ray([0, 0, 0], [1, 0, 0])
+        assert ray.distance_to_point([-2, 1, 0]) == pytest.approx(1.0)
+
+    def test_closest_point_to(self):
+        ray = Ray([0, 0, 0], [0, 1, 0])
+        assert np.allclose(ray.closest_point_to([3, 5, 0]), [0, 5, 0])
+
+
+class TestClosestApproach:
+    def test_intersecting_lines_have_zero_gap(self):
+        a = Ray([0, 0, 0], [1, 0, 0])
+        b = Ray([5, -5, 0], [0, 1, 0])
+        pa, pb, gap = closest_approach(a, b)
+        assert gap == pytest.approx(0.0, abs=1e-12)
+        assert np.allclose(pa, [5, 0, 0])
+        assert np.allclose(pa, pb)
+
+    def test_skew_lines(self):
+        a = Ray([0, 0, 0], [1, 0, 0])
+        b = Ray([0, 0, 2], [0, 1, 0])
+        assert skew_gap(a, b) == pytest.approx(2.0)
+
+    def test_parallel_lines(self):
+        a = Ray([0, 0, 0], [1, 0, 0])
+        b = Ray([0, 3, 0], [1, 0, 0])
+        assert skew_gap(a, b) == pytest.approx(3.0)
+
+    def test_coincident_antiparallel_lines(self):
+        # The aligned-link condition: TX beam and the imaginary RX beam
+        # share a line with opposite directions.
+        a = Ray([0, 0, 0], [1, 0, 0])
+        b = Ray([2, 0, 0], [-1, 0, 0])
+        assert skew_gap(a, b) == pytest.approx(0.0, abs=1e-12)
+
+    def test_gap_symmetry(self):
+        a = Ray([0.3, 1.0, -0.2], [0.1, 0.9, 0.2])
+        b = Ray([1.0, -1.0, 0.7], [-0.5, 0.3, 0.8])
+        assert skew_gap(a, b) == pytest.approx(skew_gap(b, a))

@@ -1,0 +1,59 @@
+"""End-to-end integration: the 25G prototype (Section 5.3.1).
+
+The session-scoped fixtures elsewhere exercise the 10G pipeline; this
+module proves the identical learning code works unchanged on the 25G
+design -- the paper's point that "our core technique (the TP
+mechanism) generalizes to higher bandwidths without change".
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import point
+from repro.link import link_25g
+from repro.simulate import Testbed
+
+
+@pytest.fixture(scope="module")
+def rig_25g():
+    testbed = Testbed(design=link_25g(), seed=11)
+    return testbed, testbed.calibrate()
+
+
+class Test25GPipeline:
+    def test_calibration_completes(self, rig_25g):
+        _, outcome = rig_25g
+        assert outcome.system is not None
+        assert len(outcome.mapping_samples) == 30
+
+    def test_pointing_keeps_25g_connected(self, rig_25g):
+        testbed, outcome = rig_25g
+        connected = 0
+        for pose in testbed.evaluation_poses(8):
+            command = point(outcome.system, testbed.tracker.report(pose))
+            testbed.apply_command(command)
+            connected += testbed.channel.evaluate(pose).connected
+        assert connected == 8
+
+    def test_throughput_is_25g_class(self, rig_25g):
+        testbed, _ = rig_25g
+        assert testbed.design.sfp.optimal_throughput_gbps == \
+            pytest.approx(23.5)
+
+    def test_same_tp_code_no_wavelength_inputs(self, rig_25g):
+        # The pointing function's signature is pure geometry: nothing
+        # about the 25G design (wavelength, budget) enters it.
+        testbed, outcome = rig_25g
+        pose = testbed.evaluation_poses(1)[0]
+        report = testbed.tracker.report(pose)
+        command = point(outcome.system, report)
+        assert 1 <= command.iterations <= 8
+
+    def test_power_within_margin_of_peak(self, rig_25g):
+        testbed, outcome = rig_25g
+        pose = testbed.evaluation_poses(1)[0]
+        command = point(outcome.system, testbed.tracker.report(pose))
+        testbed.apply_command(command)
+        state = testbed.channel.evaluate(pose)
+        peak = testbed.design.peak_power_dbm(state.range_m)
+        assert state.received_power_dbm > peak - 5.0

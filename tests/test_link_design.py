@@ -1,0 +1,90 @@
+"""Unit tests for repro.link.design: the calibrated link designs."""
+
+import numpy as np
+import pytest
+
+from repro import constants
+from repro.link import link_10g_collimated, link_10g_diverging, link_25g
+
+
+class TestDesignConstruction:
+    def test_10g_diverging_beam_diameter(self):
+        design = link_10g_diverging(16e-3)
+        assert design.beam_diameter_at(1.75) == pytest.approx(16e-3)
+
+    def test_collimated_beam_stays_narrow(self):
+        design = link_10g_collimated(20e-3)
+        assert design.beam_diameter_at(1.75) == pytest.approx(20e-3,
+                                                              rel=1e-3)
+
+    def test_names_are_descriptive(self):
+        assert "10G" in link_10g_diverging().name
+        assert "25G" in link_25g().name
+        assert "collimated" in link_10g_collimated().name
+
+
+class TestPowerAccounting:
+    def test_diverging_peak_matches_table1(self):
+        # Table 1: -10 dBm peak for the 20 mm diverging beam.
+        design = link_10g_diverging(20e-3)
+        assert design.peak_power_dbm(1.75) == pytest.approx(-10.0, abs=0.3)
+
+    def test_collimated_peak_matches_table1(self):
+        # Table 1: ~+15 dBm peak for the collimated beam.
+        design = link_10g_collimated()
+        assert design.peak_power_dbm(1.75) == pytest.approx(15.0, abs=1.0)
+
+    def test_peak_decreases_with_diameter(self):
+        powers = [link_10g_diverging(d).peak_power_dbm(1.75)
+                  for d in (10e-3, 16e-3, 22e-3, 28e-3)]
+        assert powers == sorted(powers, reverse=True)
+
+    def test_budget_breakdown_sums(self):
+        design = link_10g_diverging()
+        budget = design.budget(1.75)
+        assert budget.received_power_dbm == pytest.approx(
+            design.peak_power_dbm(1.75))
+
+    def test_margin_positive_at_design_range(self):
+        for design in (link_10g_diverging(), link_10g_collimated(),
+                       link_25g()):
+            assert design.margin_db(design.design_range_m) > 0
+
+
+class TestCouplingWidths:
+    def test_lateral_width_scales_with_diameter(self):
+        a = link_10g_diverging(12e-3).lateral_width_m(1.75)
+        b = link_10g_diverging(24e-3).lateral_width_m(1.75)
+        assert b > a
+
+    def test_angular_width_saturates(self):
+        widths = [link_10g_diverging(d).angular_width_rad(1.75)
+                  for d in (8e-3, 16e-3, 32e-3)]
+        assert widths[1] > widths[0]
+        # Growth slows: the second doubling gains less than the first.
+        assert widths[2] - widths[1] < widths[1] - widths[0]
+
+    def test_collimated_widths_fixed(self):
+        design = link_10g_collimated()
+        assert design.angular_width_rad(1.5) == pytest.approx(
+            design.angular_width_rad(2.0))
+
+    def test_coupling_model_consistent(self):
+        design = link_10g_diverging()
+        coupling = design.coupling(1.75)
+        assert coupling.peak_power_dbm == pytest.approx(
+            design.peak_power_dbm(1.75))
+        assert coupling.lateral_width_m == pytest.approx(
+            design.lateral_width_m(1.75))
+
+
+class TestRangeDependence:
+    def test_power_falls_with_range(self):
+        design = link_10g_diverging()
+        assert design.peak_power_dbm(1.5) > design.peak_power_dbm(2.0)
+
+    def test_25g_uses_sfp28(self):
+        design = link_25g()
+        assert design.sfp.rx_sensitivity_dbm == pytest.approx(
+            constants.SFP_25G_RX_SENSITIVITY_DBM)
+        assert design.sfp.optimal_throughput_gbps == pytest.approx(23.5)

@@ -1,0 +1,112 @@
+"""Unit tests for the synthetic head-trace dataset."""
+
+import numpy as np
+import pytest
+
+from repro import constants
+from repro.motion import (
+    NORMAL_USE,
+    VIDEO_360,
+    generate_dataset,
+    generate_trace,
+    measure_trace,
+)
+
+
+@pytest.fixture(scope="module")
+def video_trace():
+    return generate_trace(viewer=0, video=0, profile=VIDEO_360)
+
+
+class TestTraceFormat:
+    def test_sample_rate(self, video_trace):
+        assert video_trace.dt_s == pytest.approx(0.010)
+
+    def test_duration_one_minute(self, video_trace):
+        assert video_trace.duration_s == pytest.approx(60.0)
+
+    def test_array_lengths_consistent(self, video_trace):
+        n = video_trace.samples
+        assert video_trace.positions.shape == (n, 3)
+        assert video_trace.eulers.shape == (n, 3)
+        assert len(video_trace.step_linear_m) == n - 1
+
+    def test_starts_at_origin(self, video_trace):
+        assert np.allclose(video_trace.positions[0], 0.0)
+
+    def test_steps_match_positions(self, video_trace):
+        deltas = np.linalg.norm(np.diff(video_trace.positions, axis=0),
+                                axis=1)
+        assert np.allclose(deltas, video_trace.step_linear_m)
+
+
+class TestDeterminism:
+    def test_same_ids_same_trace(self):
+        a = generate_trace(3, 7, seed=42)
+        b = generate_trace(3, 7, seed=42)
+        assert np.allclose(a.positions, b.positions)
+        assert np.allclose(a.step_angular_rad, b.step_angular_rad)
+
+    def test_different_viewer_different_trace(self):
+        a = generate_trace(3, 7, seed=42)
+        b = generate_trace(4, 7, seed=42)
+        assert not np.allclose(a.positions, b.positions)
+
+    def test_dataset_dimensions(self):
+        dataset = generate_dataset(viewers=3, videos=4, duration_s=5.0)
+        assert len(dataset) == 12
+        assert {(t.viewer, t.video) for t in dataset} == {
+            (v, w) for v in range(3) for w in range(4)}
+
+
+class TestStatistics:
+    def test_normal_use_respects_fig3_bounds(self):
+        # Fig. 3: at most ~19 deg/s angular and ~14 cm/s linear.
+        traces = [generate_trace(v, 0, profile=NORMAL_USE)
+                  for v in range(8)]
+        ang = np.concatenate(
+            [measure_trace(t).angular_deg_s for t in traces])
+        lin = np.concatenate(
+            [measure_trace(t).linear_m_s for t in traces])
+        assert ang.max() <= constants.REQUIRED_ANGULAR_SPEED_DEG_S * 1.15
+        assert lin.max() <= constants.REQUIRED_LINEAR_SPEED_M_S * 1.25
+
+    def test_video_360_has_fast_turns(self):
+        traces = [generate_trace(v, vid, profile=VIDEO_360)
+                  for v in range(4) for vid in range(3)]
+        ang = np.concatenate(
+            [measure_trace(t).angular_deg_s for t in traces])
+        assert ang.max() > constants.REQUIRED_ANGULAR_SPEED_DEG_S
+
+    def test_video_360_is_mostly_calm(self):
+        trace = generate_trace(1, 1, profile=VIDEO_360)
+        ang = measure_trace(trace).angular_deg_s
+        assert np.median(ang) < 20.0
+
+    def test_traces_vary_in_activity(self):
+        maxima = []
+        for v in range(6):
+            trace = generate_trace(v, 0, profile=VIDEO_360)
+            maxima.append(measure_trace(trace).angular_deg_s.max())
+        assert max(maxima) > 2 * min(maxima)
+
+
+class TestPoseAt:
+    def test_endpoints(self, video_trace):
+        start = video_trace.pose_at(0.0)
+        assert np.allclose(start.position, video_trace.positions[0])
+
+    def test_interpolates_between_samples(self, video_trace):
+        mid = video_trace.pose_at(0.005)
+        expected = (video_trace.positions[0]
+                    + video_trace.positions[1]) / 2.0
+        assert np.allclose(mid.position, expected)
+
+    def test_clamps_beyond_end(self, video_trace):
+        last = video_trace.pose_at(1e6)
+        assert np.allclose(last.position, video_trace.positions[-1])
+
+    def test_speeds_helpers(self, video_trace):
+        assert len(video_trace.linear_speeds_m_s()) == \
+            video_trace.samples - 1
+        assert np.all(video_trace.angular_speeds_rad_s() >= 0)

@@ -1,0 +1,71 @@
+"""Tests for the packet-level ARQ layer."""
+
+import numpy as np
+import pytest
+
+from repro.motion import generate_trace
+from repro.net.arq import DEFAULT_PACKET_BITS, run_arq
+from repro.simulate import simulate_trace
+
+
+def slots(pattern, n):
+    return np.tile(np.asarray(pattern, dtype=bool), n)
+
+
+class TestRunArq:
+    def test_clean_link_full_goodput(self):
+        result = run_arq(slots([True], 1000), 1e-3, 23.5)
+        assert result.goodput_gbps == pytest.approx(23.5, rel=0.01)
+        assert result.retransmission_fraction == 0.0
+
+    def test_dead_link_zero_goodput(self):
+        result = run_arq(slots([False], 1000), 1e-3, 23.5)
+        assert result.goodput_gbps == 0.0
+        assert result.delivered_packets == 0
+
+    def test_goodput_tracks_availability(self):
+        # 10% off-slots -> ~90% of line rate, the Section 5.4 claim.
+        pattern = [True] * 9 + [False]
+        result = run_arq(slots(pattern, 200), 1e-3, 23.5)
+        assert result.goodput_gbps == pytest.approx(23.5 * 0.9,
+                                                    rel=0.02)
+
+    def test_retransmissions_match_losses(self):
+        pattern = [True] * 9 + [False]
+        result = run_arq(slots(pattern, 200), 1e-3, 23.5)
+        assert result.retransmission_fraction == pytest.approx(0.1,
+                                                               abs=0.02)
+
+    def test_feedback_delay_does_not_change_goodput(self):
+        # Losses are eventually retransmitted either way; only the
+        # delivery *latency* of those packets moves.
+        pattern = [True] * 8 + [False] * 2
+        fast = run_arq(slots(pattern, 100), 1e-3, 23.5,
+                       feedback_delay_slots=1)
+        slow = run_arq(slots(pattern, 100), 1e-3, 23.5,
+                       feedback_delay_slots=20)
+        assert fast.goodput_gbps == pytest.approx(slow.goodput_gbps,
+                                                  rel=0.01)
+
+    def test_validates_inputs(self):
+        with pytest.raises(ValueError):
+            run_arq(slots([True], 10), 0.0, 23.5)
+        with pytest.raises(ValueError):
+            run_arq(slots([True], 10), 1e-3, 0.0)
+        with pytest.raises(ValueError):
+            run_arq(slots([True], 10), 1e-3, 23.5,
+                    feedback_delay_slots=-1)
+
+    def test_slot_must_fit_a_packet(self):
+        with pytest.raises(ValueError):
+            run_arq(slots([True], 10), 1e-9, 1.0)
+
+    def test_paper_claim_on_a_trace(self):
+        # Section 5.4: "a network protocol would be able to provide an
+        # effective bandwidth of about 23 Gbps (98.6% of 23.5)".
+        trace = generate_trace(viewer=3, video=1)
+        result = simulate_trace(trace)
+        arq = run_arq(result.connected, 1e-3, 23.5)
+        expected = 23.5 * result.availability
+        assert arq.goodput_gbps == pytest.approx(expected, rel=0.02)
+        assert arq.goodput_gbps > 21.0

@@ -1,0 +1,69 @@
+"""Unit tests for the windowed throughput meter."""
+
+import pytest
+
+from repro.net import ThroughputMeter
+
+
+class TestThroughputMeter:
+    def test_full_uptime_gives_optimal(self):
+        meter = ThroughputMeter(9.4, window_s=0.05)
+        for i in range(1, 101):
+            meter.record(i * 0.001, True, 0.001)
+        windows = meter.finish()
+        assert all(w.throughput_gbps == pytest.approx(9.4)
+                   for w in windows)
+
+    def test_downtime_gives_zero(self):
+        meter = ThroughputMeter(9.4, window_s=0.05)
+        for i in range(1, 101):
+            meter.record(i * 0.001, False, 0.001)
+        assert all(w.throughput_gbps == 0.0 for w in meter.finish())
+
+    def test_partial_uptime_scales(self):
+        meter = ThroughputMeter(10.0, window_s=0.1)
+        for i in range(1, 101):
+            meter.record(i * 0.001, i % 2 == 0, 0.001)
+        window = meter.finish()[0]
+        assert window.throughput_gbps == pytest.approx(5.0, rel=0.05)
+
+    def test_window_count(self):
+        meter = ThroughputMeter(9.4, window_s=0.05)
+        for i in range(1, 501):
+            meter.record(i * 0.001, True, 0.001)
+        # 500 ms of samples -> 10 windows (the last closed by finish).
+        assert len(meter.finish()) == 10
+
+    def test_window_centers(self):
+        meter = ThroughputMeter(9.4, window_s=0.05)
+        for i in range(1, 101):
+            meter.record(i * 0.001, True, 0.001)
+        windows = meter.finish()
+        assert windows[0].center_s == pytest.approx(0.025)
+        assert windows[1].center_s == pytest.approx(0.075)
+
+    def test_empty_windows_skipped_through(self):
+        meter = ThroughputMeter(9.4, window_s=0.05)
+        meter.record(0.001, True, 0.001)
+        meter.record(0.26, True, 0.001)  # jump over several windows
+        windows = meter.finish()
+        assert len(windows) == 6
+        # Intermediate windows saw no samples: zero throughput.
+        assert all(w.throughput_gbps == 0.0 for w in windows[1:5])
+
+    def test_uptime_fraction_capped(self):
+        meter = ThroughputMeter(9.4, window_s=0.05)
+        meter.record(0.01, True, 0.001)
+        window = meter.finish()[0]
+        assert window.uptime_fraction == 1.0
+
+    def test_rejects_bad_construction(self):
+        with pytest.raises(ValueError):
+            ThroughputMeter(0.0)
+        with pytest.raises(ValueError):
+            ThroughputMeter(9.4, window_s=0.0)
+
+    def test_rejects_bad_dt(self):
+        meter = ThroughputMeter(9.4)
+        with pytest.raises(ValueError):
+            meter.record(0.0, True, 0.0)

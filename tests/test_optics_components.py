@@ -1,0 +1,148 @@
+"""Unit tests for collimators, amplifier, SFPs, photodiodes, budgets."""
+
+import numpy as np
+import pytest
+
+from repro import constants
+from repro.optics import (
+    BE02_05_C,
+    Amplifier,
+    BeamExpander,
+    C40FC_C,
+    CFC_2X_C,
+    Collimator,
+    F810FC_1550,
+    GaussianBeam,
+    LinkBudget,
+    QuadPhotodiode,
+    SFP28_LR,
+    SFP_10G_ZR,
+    Sfp,
+)
+
+
+class TestCollimator:
+    def test_catalogue_entries_valid(self):
+        for collimator in (F810FC_1550, CFC_2X_C, C40FC_C):
+            assert collimator.aperture_m > 0
+            assert collimator.focal_length_m > 0
+            assert collimator.fiber_core_m > 0
+
+    def test_rejects_bad_dimensions(self):
+        with pytest.raises(ValueError):
+            Collimator("bad", aperture_m=0.0, focal_length_m=1e-3,
+                       fiber_core_m=1e-6)
+
+    def test_launch_collimated_uses_diffraction_limit(self):
+        beam = F810FC_1550.launch_collimated(10e-3)
+        assert beam.divergence_rad == pytest.approx(
+            beam.diffraction_limited_divergence_rad)
+
+    def test_launch_diverging_reaches_target(self):
+        beam = CFC_2X_C.launch_diverging(2e-3, 16e-3, 1.75)
+        assert beam.diameter_at(1.75) == pytest.approx(16e-3)
+
+
+class TestBeamExpander:
+    def test_magnification(self):
+        beam = GaussianBeam(4e-3, 1e-3)
+        expanded = BE02_05_C.expand(beam)
+        assert expanded.waist_diameter_m == pytest.approx(20e-3)
+
+    def test_divergence_shrinks(self):
+        beam = GaussianBeam(4e-3, 1e-3)
+        expanded = BE02_05_C.expand(beam)
+        assert expanded.divergence_rad == pytest.approx(1e-3 / 5.0)
+
+    def test_rejects_bad_magnification(self):
+        with pytest.raises(ValueError):
+            BeamExpander(0.0)
+
+
+class TestAmplifier:
+    def test_small_signal_gain(self):
+        amp = Amplifier(20.0)
+        assert amp.amplify_dbm(-10.0) == pytest.approx(10.0)
+
+    def test_saturation(self):
+        amp = Amplifier(20.0, saturation_output_dbm=15.0)
+        assert amp.amplify_dbm(0.0) == pytest.approx(15.0)
+
+    def test_rejects_negative_gain(self):
+        with pytest.raises(ValueError):
+            Amplifier(-1.0)
+
+
+class TestSfp:
+    def test_10g_budget(self):
+        assert SFP_10G_ZR.link_budget_db == pytest.approx(25.0)
+
+    def test_25g_budget_in_datasheet_range(self):
+        assert 12.0 <= SFP28_LR.link_budget_db <= 18.0
+
+    def test_signal_detection_threshold(self):
+        assert SFP_10G_ZR.signal_detected(-25.0)
+        assert not SFP_10G_ZR.signal_detected(-25.1)
+
+    def test_goodput_below_line_rate(self):
+        for sfp in (SFP_10G_ZR, SFP28_LR):
+            assert sfp.optimal_throughput_gbps < sfp.line_rate_gbps
+
+    def test_rejects_goodput_above_line_rate(self):
+        with pytest.raises(ValueError):
+            Sfp("bad", 0.0, -20.0, 1550.0, line_rate_gbps=10.0,
+                optimal_throughput_gbps=11.0)
+
+    def test_relock_delay_matches_paper(self):
+        assert 1.0 <= SFP_10G_ZR.relock_delay_s <= 5.0
+
+
+class TestQuadPhotodiode:
+    def test_centered_beam_balances(self, rng):
+        quad = QuadPhotodiode(noise_mw=0.0)
+        readings = quad.read(-10.0, [0.0, 0.0], 16e-3, rng=rng)
+        assert np.allclose(readings, readings[0])
+        hint = quad.centroid_hint(readings)
+        assert np.allclose(hint, [0, 0], atol=1e-9)
+
+    def test_offset_beam_hints_direction(self, rng):
+        quad = QuadPhotodiode(noise_mw=0.0)
+        readings = quad.read(-10.0, [5e-3, 0.0], 16e-3, rng=rng)
+        hint = quad.centroid_hint(readings)
+        assert hint[0] > 0  # beam is east of center
+        assert abs(hint[1]) < abs(hint[0])
+
+    def test_rejects_bad_offset_shape(self, rng):
+        with pytest.raises(ValueError):
+            QuadPhotodiode().read(-10.0, [1.0, 2.0, 3.0], 16e-3, rng=rng)
+
+    def test_hint_of_darkness_is_zero(self):
+        assert np.allclose(QuadPhotodiode().centroid_hint(
+            np.zeros(4)), [0, 0])
+
+
+class TestLinkBudget:
+    def test_accumulates(self):
+        budget = LinkBudget(0.0)
+        budget.add("amp", 20.0).add("coupling", -30.0)
+        assert budget.received_power_dbm == pytest.approx(-10.0)
+
+    def test_margin_and_closes(self):
+        budget = LinkBudget(0.0).add("loss", -20.0)
+        assert budget.margin_db(-25.0) == pytest.approx(5.0)
+        assert budget.closes(-25.0)
+        assert not budget.closes(-15.0)
+
+    def test_breakdown_mentions_stages(self):
+        budget = LinkBudget(0.0).add("amplifier", 20.0)
+        text = budget.breakdown()
+        assert "amplifier" in text
+        assert "TX power" in text
+
+    def test_rejects_unnamed_stage(self):
+        with pytest.raises(ValueError):
+            LinkBudget(0.0).add("", -3.0)
+
+    def test_constants_coupling_loss_documented(self):
+        # The paper's -30 dB diverging coupling loss is recorded.
+        assert constants.DIVERGING_COUPLING_LOSS_DB == pytest.approx(30.0)

@@ -1,0 +1,95 @@
+"""Tests for the eye-safety analysis."""
+
+import math
+
+import pytest
+
+from repro.link import link_10g_collimated, link_10g_diverging, link_25g
+from repro.optics import (
+    GaussianBeam,
+    assess_design,
+    class1_limit_mw,
+    hazard_distance_m,
+    is_class1_at,
+    power_through_pupil_mw,
+)
+from repro.optics.gaussian import divergence_for_diameter
+
+
+def diverging_beam():
+    div = divergence_for_diameter(16e-3, 1.75, 2e-3)
+    return GaussianBeam(2e-3, div, wavelength_m=1550e-9)
+
+
+class TestLimits:
+    def test_1550_is_retina_safe_band(self):
+        assert class1_limit_mw(1550.0) == pytest.approx(10.0)
+
+    def test_1310_band_is_tighter(self):
+        assert class1_limit_mw(1310.0) < class1_limit_mw(1550.0)
+
+    def test_visible_band_tightest(self):
+        assert class1_limit_mw(850.0) < class1_limit_mw(1310.0)
+
+    def test_rejects_bad_wavelength(self):
+        with pytest.raises(ValueError):
+            class1_limit_mw(0.0)
+
+
+class TestPupilPower:
+    def test_narrow_beam_all_in_pupil(self):
+        # A 2 mm beam fits entirely inside a 7 mm pupil.
+        beam = diverging_beam()
+        power = power_through_pupil_mw(beam, 0.0, 0.0)  # 1 mW launch
+        assert power == pytest.approx(1.0, abs=0.01)
+
+    def test_spreading_reduces_pupil_power(self):
+        beam = diverging_beam()
+        near = power_through_pupil_mw(beam, 20.0, 0.2)
+        far = power_through_pupil_mw(beam, 20.0, 2.0)
+        assert far < near
+
+    def test_rejects_negative_distance(self):
+        with pytest.raises(ValueError):
+            power_through_pupil_mw(diverging_beam(), 0.0, -1.0)
+
+
+class TestHazardDistance:
+    def test_safe_launch_has_zero_hazard(self):
+        # 1 mW launch: Class 1 everywhere at 1550 nm.
+        assert hazard_distance_m(diverging_beam(), 0.0) == 0.0
+
+    def test_hot_diverging_launch_has_finite_hazard(self):
+        # 100 mW into a diverging beam: unsafe near, safe far.
+        d = hazard_distance_m(diverging_beam(), 20.0)
+        assert 0.1 < d < 20.0
+        assert is_class1_at(diverging_beam(), 20.0, d * 1.01)
+        assert not is_class1_at(diverging_beam(), 20.0, d * 0.9)
+
+    def test_hot_collimated_launch_never_safe(self):
+        collimated = GaussianBeam(5e-3, 0.0, wavelength_m=1550e-9)
+        assert math.isinf(hazard_distance_m(collimated, 20.0))
+
+
+class TestDesignAssessment:
+    def test_10g_designs_safe_at_link_range(self):
+        # Footnote 12's claim, for the 1550 nm prototypes.
+        for design in (link_10g_diverging(), link_10g_collimated()):
+            report = assess_design(design)
+            assert report.safe_at_link_range
+
+    def test_10g_hazard_inside_link_range(self):
+        # ... but not arbitrarily close to the aperture.
+        report = assess_design(link_10g_diverging())
+        assert 0.0 < report.hazard_distance_m < 1.75
+
+    def test_25g_flagged_at_1310(self):
+        # The tighter 1310 nm limit catches the amplified 25G model --
+        # an honest design finding (the real 25G ran unamplified).
+        report = assess_design(link_25g())
+        assert not report.safe_at_link_range
+
+    def test_report_fields(self):
+        report = assess_design(link_10g_diverging())
+        assert report.wavelength_nm == pytest.approx(1550.0)
+        assert report.launched_power_dbm < 20.0  # TX-side loss applied

@@ -1,0 +1,122 @@
+"""Tests for the ceiling-coverage planner."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.plan import (
+    CoverageConstraints,
+    CoveragePlan,
+    Room,
+    plan_greedy,
+    service_radius_m,
+    tx_covers,
+)
+
+
+def small_room():
+    return Room(width_m=3.0, depth_m=3.0, ceiling_height_m=2.6,
+                head_height_m=1.5)
+
+
+class TestRoom:
+    def test_vertical_gap(self):
+        assert small_room().vertical_gap_m == pytest.approx(1.1)
+
+    def test_rejects_low_ceiling(self):
+        with pytest.raises(ValueError):
+            Room(3.0, 3.0, ceiling_height_m=1.4, head_height_m=1.5)
+
+    def test_grid_covers_floor(self):
+        grid = small_room().grid(resolution_m=0.5)
+        assert grid[:, 0].max() < 3.0
+        assert grid[:, 1].max() < 3.0
+        assert len(grid) == 36
+
+
+class TestTxCovers:
+    def test_directly_below_is_covered(self):
+        room = small_room()
+        assert tx_covers([1.5, 1.5], [1.5, 1.5], room,
+                         CoverageConstraints())
+
+    def test_outside_cone_not_covered(self):
+        room = small_room()
+        constraints = CoverageConstraints()
+        # Lateral distance putting the steering angle past the cone.
+        too_far = room.vertical_gap_m * math.tan(
+            constraints.cone_half_angle_rad) * 1.3
+        assert not tx_covers([1.5, 1.5], [1.5 + too_far, 1.5], room,
+                             constraints)
+
+    def test_range_limit_binds(self):
+        room = Room(6.0, 6.0, ceiling_height_m=4.0, head_height_m=1.5)
+        constraints = CoverageConstraints(max_range_m=2.0)
+        # Vertical gap alone is 2.5 m > max range: nothing is covered.
+        assert not tx_covers([3.0, 3.0], [3.0, 3.0], room, constraints)
+
+
+class TestServiceRadius:
+    def test_cone_bound(self):
+        room = small_room()
+        constraints = CoverageConstraints(max_range_m=100.0)
+        expected = 1.1 * math.tan(math.radians(20.0))
+        assert service_radius_m(room, constraints) == pytest.approx(
+            expected)
+
+    def test_range_bound(self):
+        room = small_room()
+        constraints = CoverageConstraints(
+            cone_half_angle_rad=math.radians(89.0), max_range_m=1.2)
+        expected = math.sqrt(1.2 ** 2 - 1.1 ** 2)
+        assert service_radius_m(room, constraints) == pytest.approx(
+            expected)
+
+    def test_zero_when_range_too_short(self):
+        room = small_room()
+        constraints = CoverageConstraints(max_range_m=1.0)  # < gap
+        assert service_radius_m(room, constraints) == 0.0
+
+
+class TestGreedyPlanner:
+    def test_small_room_needs_several_txs(self):
+        # Service radius ~0.4 m -> a 3x3 m room needs a grid of them.
+        plan = plan_greedy(small_room(), target_fraction=0.9)
+        assert 5 <= len(plan.tx_positions) <= 40
+        assert plan.coverage_fraction(0.15) >= 0.88
+
+    def test_bigger_room_needs_more_txs(self):
+        small = plan_greedy(small_room(), target_fraction=0.9,
+                            resolution_m=0.25)
+        big = plan_greedy(Room(5.0, 5.0), target_fraction=0.9,
+                          resolution_m=0.25)
+        assert len(big.tx_positions) > len(small.tx_positions)
+
+    def test_wider_cone_needs_fewer_txs(self):
+        narrow = plan_greedy(small_room(), CoverageConstraints(),
+                             target_fraction=0.9, resolution_m=0.25)
+        wide = plan_greedy(
+            small_room(),
+            CoverageConstraints(cone_half_angle_rad=math.radians(40.0)),
+            target_fraction=0.9, resolution_m=0.25)
+        assert len(wide.tx_positions) < len(narrow.tx_positions)
+
+    def test_redundancy_grows_with_extra_txs(self):
+        plan = plan_greedy(small_room(), target_fraction=0.9,
+                           resolution_m=0.25)
+        base = plan.redundancy_fraction(0.25)
+        # Duplicate every TX: redundancy saturates to the coverage.
+        doubled = CoveragePlan(plan.room, plan.constraints,
+                               plan.tx_positions * 2)
+        assert doubled.redundancy_fraction(0.25) >= base
+        assert doubled.redundancy_fraction(0.25) == pytest.approx(
+            doubled.coverage_fraction(0.25))
+
+    def test_target_fraction_validated(self):
+        with pytest.raises(ValueError):
+            plan_greedy(small_room(), target_fraction=0.0)
+
+    def test_empty_plan_covers_nothing(self):
+        plan = CoveragePlan(small_room(), CoverageConstraints())
+        assert plan.coverage_fraction(0.5) == 0.0

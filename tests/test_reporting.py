@@ -1,0 +1,43 @@
+"""Unit tests for the text-table reporter."""
+
+import pytest
+
+from repro.reporting import TextTable, fmt_float
+
+
+class TestTextTable:
+    def test_renders_headers_and_rows(self):
+        table = TextTable(["design", "tolerance"])
+        table.add_row("collimated", "2.00")
+        table.add_row("diverging", "15.81")
+        text = table.render()
+        assert "design" in text
+        assert "15.81" in text
+        assert len(text.splitlines()) == 4  # header, rule, two rows
+
+    def test_columns_align(self):
+        table = TextTable(["a", "b"])
+        table.add_row("x", "1")
+        table.add_row("longer", "22")
+        lines = table.render().splitlines()
+        widths = {len(line) for line in lines if line.strip()}
+        assert len(widths) == 1  # every line the same width
+
+    def test_rejects_wrong_cell_count(self):
+        with pytest.raises(ValueError):
+            TextTable(["a", "b"]).add_row("only-one")
+
+    def test_indent(self):
+        table = TextTable(["a"]).add_row("x")
+        assert all(line.startswith("  ")
+                   for line in table.render(indent="  ").splitlines())
+
+    def test_chaining(self):
+        table = TextTable(["a"]).add_row("1").add_row("2")
+        assert len(table.rows) == 2
+
+
+class TestFmtFloat:
+    def test_digits(self):
+        assert fmt_float(3.14159, 2) == "3.14"
+        assert fmt_float(3.14159, 4) == "3.1416"

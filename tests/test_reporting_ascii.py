@@ -1,0 +1,86 @@
+"""Tests for the ASCII plotting helpers."""
+
+import numpy as np
+import pytest
+
+from repro.reporting import AsciiPlot, sparkline
+
+
+class TestAsciiPlot:
+    def test_renders_requested_size(self):
+        plot = AsciiPlot(width=40, height=10)
+        plot.add_series("s", [0, 1, 2], [0, 1, 4])
+        lines = plot.render().splitlines()
+        # height rows + axis + x labels + footer.
+        assert len(lines) == 10 + 3
+        assert all("|" in line for line in lines[:10])
+
+    def test_marks_extremes(self):
+        plot = AsciiPlot(width=20, height=8)
+        plot.add_series("s", [0, 1], [0, 1])
+        text = plot.render()
+        rows = text.splitlines()
+        assert "*" in rows[0]       # max lands on the top row
+        assert "*" in rows[7]       # min lands on the bottom row
+
+    def test_two_series_two_markers(self):
+        plot = AsciiPlot(width=20, height=8)
+        plot.add_series("a", [0, 1], [0, 0.1])
+        plot.add_series("b", [0, 1], [1, 0.9])
+        text = plot.render()
+        assert "*" in text
+        assert "o" in text
+        assert "a" in text and "b" in text  # legend
+
+    def test_axis_labels_in_footer(self):
+        plot = AsciiPlot(width=20, height=8, x_label="speed",
+                         y_label="tput")
+        plot.add_series("s", [0, 1], [0, 1])
+        footer = plot.render().splitlines()[-1]
+        assert "speed" in footer
+        assert "tput" in footer
+
+    def test_constant_series_safe(self):
+        plot = AsciiPlot(width=20, height=8)
+        plot.add_series("flat", [0, 1, 2], [5, 5, 5])
+        assert "*" in plot.render()
+
+    def test_explicit_ranges_clip(self):
+        plot = AsciiPlot(width=20, height=8, y_range=(0.0, 1.0))
+        plot.add_series("s", [0, 1], [0.5, 99.0])  # clipped to top
+        rows = plot.render().splitlines()
+        assert "*" in rows[0]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            AsciiPlot(width=2, height=2)
+        plot = AsciiPlot(width=20, height=8)
+        with pytest.raises(ValueError):
+            plot.add_series("s", [0, 1], [0])
+        with pytest.raises(ValueError):
+            plot.add_series("s", [], [])
+        with pytest.raises(ValueError):
+            plot.render()
+
+
+class TestSparkline:
+    def test_length_bounded_by_width(self):
+        line = sparkline(np.arange(1000), width=50)
+        assert len(line) == 50
+
+    def test_short_series_uses_own_length(self):
+        assert len(sparkline([1, 2, 3], width=50)) == 3
+
+    def test_monotone_series_monotone_levels(self):
+        blocks = " .:-=+*#"
+        line = sparkline(np.linspace(0, 1, 40), width=40)
+        levels = [blocks.index(c) for c in line]
+        assert levels == sorted(levels)
+
+    def test_constant_series_safe(self):
+        line = sparkline([3.0, 3.0, 3.0])
+        assert len(line) == 3
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            sparkline([])

@@ -1,0 +1,101 @@
+"""Unit tests for the Section 5.4 timeslot simulation."""
+
+import numpy as np
+import pytest
+
+from repro.motion import HeadTrace
+from repro.simulate import TimeslotParams, simulate_trace
+
+
+def synthetic_trace(step_linear_m, step_angular_rad, dt_s=0.010):
+    """A trace with prescribed per-step motion magnitudes."""
+    n = len(step_linear_m) + 1
+    positions = np.zeros((n, 3))
+    positions[1:, 0] = np.cumsum(step_linear_m)
+    eulers = np.zeros((n, 3))
+    eulers[1:, 2] = np.cumsum(step_angular_rad)
+    return HeadTrace(viewer=0, video=0, dt_s=dt_s, positions=positions,
+                     eulers=eulers,
+                     step_linear_m=np.asarray(step_linear_m, dtype=float),
+                     step_angular_rad=np.asarray(step_angular_rad,
+                                                 dtype=float))
+
+
+class TestParams:
+    def test_defaults_match_paper(self):
+        params = TimeslotParams()
+        assert params.slot_s == pytest.approx(1e-3)
+        assert params.residual_lateral_m == pytest.approx(4.54e-3)
+        assert params.residual_angular_rad == pytest.approx(4.54e-3 / 1.75)
+        assert params.lateral_tolerance_m == pytest.approx(6e-3)
+        assert params.angular_tolerance_rad == pytest.approx(8.73e-3)
+
+    def test_rejects_tolerance_below_residual(self):
+        with pytest.raises(ValueError):
+            TimeslotParams(lateral_tolerance_m=1e-3)
+
+    def test_rejects_bad_slot(self):
+        with pytest.raises(ValueError):
+            TimeslotParams(slot_s=0.0)
+
+
+class TestSimulateTrace:
+    def test_stationary_trace_fully_connected(self):
+        trace = synthetic_trace(np.zeros(100), np.zeros(100))
+        result = simulate_trace(trace)
+        assert result.availability == 1.0
+
+    def test_slow_motion_stays_connected(self):
+        # 10 deg/s: 1.75 mrad per 10 ms report -- far within budget.
+        step_ang = np.full(200, np.radians(10) * 0.01)
+        result = simulate_trace(synthetic_trace(np.zeros(200), step_ang))
+        assert result.availability == 1.0
+
+    def test_fast_rotation_disconnects(self):
+        # 60 deg/s: 10.5 mrad per report >> the 8.73 mrad tolerance.
+        step_ang = np.full(200, np.radians(60) * 0.01)
+        result = simulate_trace(synthetic_trace(np.zeros(200), step_ang))
+        assert result.availability < 0.7
+
+    def test_fast_translation_disconnects(self):
+        # 0.5 m/s: 5 mm drift per report + 4.54 mm residual > 6 mm.
+        step_lin = np.full(200, 0.5 * 0.01)
+        result = simulate_trace(synthetic_trace(step_lin, np.zeros(200)))
+        assert result.availability < 0.7
+
+    def test_burst_only_affects_its_slots(self):
+        steps = np.zeros(300)
+        steps[100:110] = np.radians(80) * 0.01  # a 100 ms saccade
+        result = simulate_trace(synthetic_trace(np.zeros(300), steps))
+        assert 0.9 < result.availability < 1.0
+        # Slots outside the burst neighbourhood stay connected.
+        assert result.connected[:990].all()
+
+    def test_slot_count(self):
+        trace = synthetic_trace(np.zeros(50), np.zeros(50))
+        result = simulate_trace(trace)
+        assert result.slots == 500
+
+    def test_higher_tolerance_more_availability(self):
+        step_ang = np.full(200, np.radians(40) * 0.01)
+        trace = synthetic_trace(np.zeros(200), step_ang)
+        tight = simulate_trace(trace, TimeslotParams())
+        loose = simulate_trace(trace, TimeslotParams(
+            angular_tolerance_rad=20e-3))
+        assert loose.availability >= tight.availability
+
+    def test_latency_slots_delay_realignment(self):
+        # With a huge TP latency the realignment never lands inside
+        # the interval, so drift accumulates across reports.
+        step_ang = np.full(100, np.radians(25) * 0.01)
+        trace = synthetic_trace(np.zeros(100), step_ang)
+        normal = simulate_trace(trace, TimeslotParams(tp_latency_slots=2))
+        never = simulate_trace(trace, TimeslotParams(tp_latency_slots=99))
+        assert never.availability < normal.availability
+
+    def test_off_slots_property(self):
+        trace = synthetic_trace(np.zeros(100),
+                                np.full(100, np.radians(60) * 0.01))
+        result = simulate_trace(trace)
+        assert result.off_slots == result.slots - int(
+            result.connected.sum())

@@ -1,0 +1,80 @@
+"""Unit tests for the TX/RX assemblies (rigid optics mounting)."""
+
+import numpy as np
+import pytest
+
+from repro.galvo import GalvoHardware, GalvoSpec, canonical_gma
+from repro.geometry import RigidTransform, rotation_matrix
+from repro.vrh import Pose, RxAssembly, TxAssembly
+
+
+def quiet_hardware():
+    spec = GalvoSpec(name="quiet", volts_per_optical_degree=0.5,
+                     voltage_range_v=10.0, angular_accuracy_rad=0.0,
+                     small_angle_latency_s=300e-6,
+                     max_beam_diameter_m=10e-3)
+    return GalvoHardware(canonical_gma(np.radians(1.0)), spec=spec,
+                         rng=np.random.default_rng(0))
+
+
+class TestTxAssembly:
+    def test_world_beam_is_transformed_kspace_beam(self):
+        hw = quiet_hardware()
+        placement = RigidTransform(rotation_matrix([1, 0, 0], 0.3),
+                                   np.array([0.0, 0.0, 2.5]))
+        tx = TxAssembly(hw, placement)
+        hw.apply(0.5, -0.5)
+        expected = placement.apply_ray(hw.output_beam())
+        beam = tx.world_beam()
+        assert np.allclose(beam.origin, expected.origin)
+        assert np.allclose(beam.direction, expected.direction)
+
+    def test_mirror_plane_contains_beam_origin(self):
+        hw = quiet_hardware()
+        tx = TxAssembly(hw, RigidTransform.identity())
+        hw.apply(1.0, 1.0)
+        plane = tx.world_second_mirror_plane()
+        assert plane.contains(tx.world_beam().origin, tol=1e-9)
+
+
+class TestRxAssembly:
+    def test_beam_rides_with_headset(self):
+        hw = quiet_hardware()
+        rx = RxAssembly(hw, RigidTransform.identity())
+        hw.apply(0.0, 0.0)
+        home = Pose.identity()
+        moved = Pose([0.1, 0.2, 0.3], np.eye(3))
+        beam_home = rx.world_beam(home)
+        beam_moved = rx.world_beam(moved)
+        assert np.allclose(beam_moved.origin - beam_home.origin,
+                           [0.1, 0.2, 0.3])
+        assert np.allclose(beam_moved.direction, beam_home.direction)
+
+    def test_beam_rotates_with_headset(self):
+        hw = quiet_hardware()
+        rx = RxAssembly(hw, RigidTransform.identity())
+        hw.apply(0.0, 0.0)
+        turned = Pose([0, 0, 0], rotation_matrix([1, 0, 0], 0.2))
+        beam = rx.world_beam(turned)
+        expected_dir = rotation_matrix([1, 0, 0], 0.2) @ \
+            rx.world_beam(Pose.identity()).direction
+        assert np.allclose(beam.direction, expected_dir)
+
+    def test_kspace_to_world_composition(self):
+        hw = quiet_hardware()
+        mount = RigidTransform(rotation_matrix([0, 1, 0], 0.5),
+                               np.array([0.05, 0.03, 0.10]))
+        rx = RxAssembly(hw, mount)
+        pose = Pose.from_euler([1, 2, 3], 0.1, 0.2, 0.3)
+        combined = rx.kspace_to_world(pose)
+        expected = pose.as_transform().compose(mount)
+        assert combined.almost_equal(expected, tol=1e-12)
+
+    def test_mirror_plane_moves_with_pose(self):
+        hw = quiet_hardware()
+        rx = RxAssembly(hw, RigidTransform.identity())
+        hw.apply(0.3, 0.3)
+        a = rx.world_second_mirror_plane(Pose.identity())
+        b = rx.world_second_mirror_plane(Pose([1, 0, 0], np.eye(3)))
+        assert np.allclose(b.point - a.point, [1, 0, 0])
+        assert np.allclose(a.normal, b.normal)
