@@ -10,6 +10,7 @@ can poke the system without writing code::
     python -m repro safety            # eye-safety reports
     python -m repro plan --width 4 --depth 3   # ceiling TX plan
     python -m repro formats           # the VR-format bandwidth ladder
+    python -m repro bench             # time the trace pipeline
 """
 
 from __future__ import annotations
@@ -69,8 +70,9 @@ def _cmd_calibrate(args):
 def _cmd_traces(args):
     from .motion import generate_dataset
     from .simulate import analyze, report, simulate_dataset
-    traces = generate_dataset(viewers=args.viewers, videos=args.videos)
-    results = simulate_dataset(traces)
+    traces = generate_dataset(viewers=args.viewers, videos=args.videos,
+                              workers=args.workers)
+    results = simulate_dataset(traces, workers=args.workers)
     availability = report(results)
     clustering = analyze(results)
     print(f"traces: {len(traces)}")
@@ -130,6 +132,82 @@ def _cmd_formats(args):
     return 0
 
 
+def _cmd_bench(args):
+    """Time generate -> simulate -> report and write a JSON record."""
+    import json
+    import time
+
+    from .motion import generate_dataset
+    from .simulate import report, simulate_dataset, simulate_trace
+    from .simulate.timeslot import _simulate_trace_reference
+
+    t0 = time.perf_counter()
+    traces = generate_dataset(viewers=args.viewers, videos=args.videos,
+                              duration_s=args.duration,
+                              workers=args.workers)
+    t_generate = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    results = simulate_dataset(traces, workers=args.workers)
+    t_simulate = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    availability = report(results)
+    t_report = time.perf_counter() - t0
+
+    total_slots = sum(r.slots for r in results)
+    wall_s = t_generate + t_simulate + t_report
+
+    # Speedup of the vectorized slot model over the retained reference
+    # loop, measured on a subset (the loop is the slow part).  Both
+    # sides take the best of several passes after a warmup so GC and
+    # scheduler noise cannot skew the ratio.
+    def best_of(body, repeats):
+        body()  # warmup
+        best = float("inf")
+        for _ in range(repeats):
+            t0 = time.perf_counter()
+            body()
+            best = min(best, time.perf_counter() - t0)
+        return best
+
+    subset = traces[:max(1, min(args.ref_traces, len(traces)))]
+    t_loop = best_of(
+        lambda: [_simulate_trace_reference(t) for t in subset], 3)
+    t_vec = best_of(lambda: [simulate_trace(t) for t in subset], 15)
+    speedup = t_loop / t_vec if t_vec > 0 else float("inf")
+
+    payload = {
+        "pipeline": "generate->simulate->report",
+        "viewers": args.viewers,
+        "videos": args.videos,
+        "duration_s": args.duration,
+        "workers": args.workers,
+        "traces": len(traces),
+        "slots": total_slots,
+        "wall_s": wall_s,
+        "generate_s": t_generate,
+        "simulate_s": t_simulate,
+        "report_s": t_report,
+        "traces_per_s": len(traces) / wall_s if wall_s > 0 else 0.0,
+        "slots_per_s": total_slots / wall_s if wall_s > 0 else 0.0,
+        "speedup_vs_reference": speedup,
+        "reference_subset_traces": len(subset),
+        "overall_availability": availability.overall_availability,
+    }
+    with open(args.output, "w") as handle:
+        json.dump(payload, handle, indent=2)
+        handle.write("\n")
+    print(f"traces: {len(traces)} ({total_slots} slots)")
+    print(f"wall: {wall_s:.2f} s (generate {t_generate:.2f}, "
+          f"simulate {t_simulate:.2f}, report {t_report:.2f})")
+    print(f"throughput: {payload['traces_per_s']:.1f} traces/s, "
+          f"{payload['slots_per_s']:.0f} slots/s")
+    print(f"slot model speedup vs reference loop: {speedup:.1f}x")
+    print(f"wrote {args.output}")
+    return 0
+
+
 def _cmd_scenarios(args):
     from .reporting import TextTable
     from .simulate import list_scenarios
@@ -178,6 +256,7 @@ def build_parser() -> argparse.ArgumentParser:
                             help="Section 5.4 trace availability")
     traces.add_argument("--viewers", type=int, default=10)
     traces.add_argument("--videos", type=int, default=10)
+    traces.add_argument("--workers", type=int, default=1)
     traces.set_defaults(func=_cmd_traces)
 
     sub.add_parser("safety", help="eye-safety reports"
@@ -192,6 +271,17 @@ def build_parser() -> argparse.ArgumentParser:
 
     sub.add_parser("formats", help="VR format bandwidth ladder"
                    ).set_defaults(func=_cmd_formats)
+
+    bench = sub.add_parser(
+        "bench", help="time the trace pipeline, write a JSON record")
+    bench.add_argument("--viewers", type=int, default=10)
+    bench.add_argument("--videos", type=int, default=10)
+    bench.add_argument("--duration", type=float, default=60.0)
+    bench.add_argument("--workers", type=int, default=1)
+    bench.add_argument("--ref-traces", type=int, default=5,
+                       help="traces timed through the reference loop")
+    bench.add_argument("--output", default="BENCH_trace_pipeline.json")
+    bench.set_defaults(func=_cmd_bench)
 
     sub.add_parser("scenarios", help="list the experiment registry"
                    ).set_defaults(func=_cmd_scenarios)

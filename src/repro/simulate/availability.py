@@ -3,11 +3,13 @@
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Sequence
+from functools import partial
+from typing import List, Optional, Sequence
 
 import numpy as np
 
 from ..motion import HeadTrace
+from ..parallel import parallel_map
 from .timeslot import TimeslotParams, TimeslotResult, simulate_trace
 
 
@@ -40,12 +42,17 @@ class AvailabilityReport:
 
 
 def simulate_dataset(traces: Sequence[HeadTrace],
-                     params: TimeslotParams = TimeslotParams()
-                     ) -> List[TimeslotResult]:
-    """Replay every trace through the Section 5.4 model."""
+                     params: TimeslotParams = TimeslotParams(),
+                     workers: Optional[int] = 1) -> List[TimeslotResult]:
+    """Replay every trace through the Section 5.4 model.
+
+    Results come back in trace order for any ``workers`` setting (see
+    ``repro.parallel``), so downstream aggregation is deterministic.
+    """
     if not traces:
         raise ValueError("no traces to simulate")
-    return [simulate_trace(trace, params) for trace in traces]
+    return parallel_map(partial(simulate_trace, params=params),
+                        traces, workers=workers)
 
 
 def report(results: Sequence[TimeslotResult]) -> AvailabilityReport:
@@ -53,8 +60,13 @@ def report(results: Sequence[TimeslotResult]) -> AvailabilityReport:
     if not results:
         raise ValueError("no results to aggregate")
     per_trace = np.array([r.availability for r in results])
-    total_slots = sum(r.slots for r in results)
-    total_on = sum(r.slots - r.off_slots for r in results)
+    # Totals come straight from the connected arrays: one size read and
+    # one popcount per trace, instead of rescanning via the off_slots
+    # property.
+    total_slots = sum(r.connected.size for r in results)
+    total_on = sum(int(np.count_nonzero(r.connected)) for r in results)
+    if total_slots == 0:
+        raise ValueError("results contain no slots")
     return AvailabilityReport(
         per_trace_availability=per_trace,
         overall_availability=total_on / total_slots,

@@ -10,11 +10,13 @@ users studying the calibration's robustness.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Sequence
+from functools import partial
+from typing import Callable, Dict, List, Optional, Sequence
 
 import numpy as np
 
 from ..core import point
+from ..parallel import parallel_map
 from .rig import Testbed
 
 
@@ -43,14 +45,28 @@ class MetricSummary:
         return float(self.values.max())
 
 
+def _eval_seed(metric_fn: Callable[[int], Dict[str, float]],
+               seed: int) -> Dict[str, float]:
+    """Evaluate one seed (module-level so the pair pickles)."""
+    return metric_fn(int(seed))
+
+
 def sweep_seeds(metric_fn: Callable[[int], Dict[str, float]],
-                seeds: Sequence[int]) -> Dict[str, MetricSummary]:
-    """Evaluate a per-seed metric dictionary across seeds."""
+                seeds: Sequence[int],
+                workers: Optional[int] = 1) -> Dict[str, MetricSummary]:
+    """Evaluate a per-seed metric dictionary across seeds.
+
+    ``workers>1`` fans the seeds out over a process pool (``metric_fn``
+    must then be picklable — a lambda degrades to the serial path); the
+    per-seed dictionaries are merged in seed order either way, so the
+    summaries are identical for any worker count.
+    """
     if not seeds:
         raise ValueError("need at least one seed")
+    per_seed = parallel_map(partial(_eval_seed, metric_fn),
+                            list(seeds), workers=workers)
     collected: Dict[str, List[float]] = {}
-    for seed in seeds:
-        metrics = metric_fn(int(seed))
+    for metrics in per_seed:
         for name, value in metrics.items():
             collected.setdefault(name, []).append(float(value))
     return {name: MetricSummary(name=name, values=np.array(values))

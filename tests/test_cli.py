@@ -25,6 +25,20 @@ class TestParser:
         assert args.seed == 11
         assert args.trials == 5
 
+    def test_bench_defaults(self):
+        args = build_parser().parse_args(["bench"])
+        assert args.viewers == 10
+        assert args.workers == 1
+        assert args.output == "BENCH_trace_pipeline.json"
+
+    def test_bench_options(self):
+        args = build_parser().parse_args(
+            ["bench", "--workers", "4", "--duration", "5.0",
+             "--output", "/tmp/b.json"])
+        assert args.workers == 4
+        assert args.duration == 5.0
+        assert args.output == "/tmp/b.json"
+
 
 class TestCommands:
     def test_table1(self, capsys):
@@ -66,6 +80,15 @@ class TestCommands:
         assert main(["calibrate", "--seed", "3", "--trials", "3"]) == 0
         out = capsys.readouterr().out
         assert "realign trials at optimal: 3/3" in out
+
+    def test_bench_small(self, capsys, tmp_path):
+        out_path = tmp_path / "BENCH_trace_pipeline.json"
+        assert main(["bench", "--viewers", "1", "--videos", "1",
+                     "--duration", "2.0", "--ref-traces", "1",
+                     "--output", str(out_path)]) == 0
+        out = capsys.readouterr().out
+        assert "speedup" in out
+        assert out_path.exists()
 
 
 class TestScenarioCommands:

@@ -10,7 +10,9 @@ from repro.motion import (
     generate_dataset,
     generate_trace,
     measure_trace,
+    resample_trace,
 )
+from repro.motion.traces import _ou_series, _ou_series_reference
 
 
 @pytest.fixture(scope="module")
@@ -106,7 +108,141 @@ class TestPoseAt:
         last = video_trace.pose_at(1e6)
         assert np.allclose(last.position, video_trace.positions[-1])
 
+    def test_clamps_negative_time(self, video_trace):
+        before = video_trace.pose_at(-5.0)
+        assert np.allclose(before.position, video_trace.positions[0])
+        assert np.allclose(before.position,
+                           video_trace.pose_at(0.0).position)
+
+    def test_exact_last_sample(self, video_trace):
+        end = video_trace.pose_at(video_trace.duration_s)
+        assert np.allclose(end.position, video_trace.positions[-1])
+
+    def test_just_past_duration_equals_last(self, video_trace):
+        duration = video_trace.duration_s
+        past = video_trace.pose_at(duration + 0.5 * video_trace.dt_s)
+        assert np.allclose(past.position, video_trace.positions[-1])
+
+    def test_exact_interior_sample(self, video_trace):
+        t = 7 * video_trace.dt_s
+        assert np.allclose(video_trace.pose_at(t).position,
+                           video_trace.positions[7])
+
     def test_speeds_helpers(self, video_trace):
         assert len(video_trace.linear_speeds_m_s()) == \
             video_trace.samples - 1
         assert np.all(video_trace.angular_speeds_rad_s() >= 0)
+
+
+class TestResample:
+    @pytest.fixture(scope="class")
+    def short_trace(self):
+        return generate_trace(viewer=1, video=2, seed=5, duration_s=2.0)
+
+    def test_identity_factor(self, short_trace):
+        assert resample_trace(short_trace, 1) is short_trace
+
+    def test_rejects_factor_below_one(self, short_trace):
+        with pytest.raises(ValueError):
+            resample_trace(short_trace, 0)
+
+    def test_rejects_factor_beyond_trace(self, short_trace):
+        steps = len(short_trace.step_linear_m)
+        with pytest.raises(ValueError):
+            resample_trace(short_trace, steps + 1)
+
+    def test_exact_division(self, short_trace):
+        steps = len(short_trace.step_linear_m)  # 200 steps
+        factor = 4
+        assert steps % factor == 0
+        coarse = resample_trace(short_trace, factor)
+        assert len(coarse.step_linear_m) == steps // factor
+        assert coarse.samples == steps // factor + 1
+        assert coarse.dt_s == pytest.approx(short_trace.dt_s * factor)
+
+    def test_remainder_steps_dropped(self, short_trace):
+        steps = len(short_trace.step_linear_m)  # 200 steps
+        factor = 7                              # 200 = 28*7 + 4
+        groups = steps // factor
+        coarse = resample_trace(short_trace, factor)
+        assert len(coarse.step_linear_m) == groups
+        assert coarse.samples == groups + 1
+        # Only the first groups*factor fine steps contribute; the
+        # 4-step remainder is discarded.
+        used = groups * factor
+        np.testing.assert_allclose(
+            coarse.step_linear_m,
+            short_trace.step_linear_m[:used].reshape(
+                groups, factor).sum(axis=1))
+        np.testing.assert_allclose(
+            coarse.step_angular_rad,
+            short_trace.step_angular_rad[:used].reshape(
+                groups, factor).sum(axis=1))
+
+    def test_positions_subsampled_at_group_boundaries(self, short_trace):
+        factor = 7
+        coarse = resample_trace(short_trace, factor)
+        groups = len(short_trace.step_linear_m) // factor
+        indices = np.arange(0, groups * factor + 1, factor)
+        np.testing.assert_allclose(coarse.positions,
+                                   short_trace.positions[indices])
+        np.testing.assert_allclose(coarse.eulers,
+                                   short_trace.eulers[indices])
+
+    def test_motion_is_conserved_per_group(self, short_trace):
+        # Summed step magnitudes are identical physical motion seen by
+        # a slower tracker, so totals over the used region agree.
+        factor = 3
+        coarse = resample_trace(short_trace, factor)
+        used = (len(short_trace.step_linear_m) // factor) * factor
+        assert coarse.step_angular_rad.sum() == pytest.approx(
+            short_trace.step_angular_rad[:used].sum())
+
+
+class TestOuVectorization:
+    """The vectorized AR(1) path is bit-identical to the recursion."""
+
+    @pytest.mark.parametrize("n,tau,sigma", [
+        (1, 0.8, 0.1),
+        (2, 0.8, 0.1),
+        (977, 0.8, 0.14),
+        (6001, 1.2, 0.04),
+        (50, 1e-3, 2.0),     # decay ~ 0, innovation ~ sigma
+        (50, 1e6, 0.5),      # decay ~ 1, tiny innovation
+    ])
+    def test_bitwise_equal_to_reference(self, n, tau, sigma):
+        fast = _ou_series(n, 0.01, tau, sigma,
+                          np.random.default_rng(99))
+        slow = _ou_series_reference(n, 0.01, tau, sigma,
+                                    np.random.default_rng(99))
+        np.testing.assert_array_equal(fast, slow)
+
+    def test_consumes_identical_rng_stream(self):
+        # After generating, both leave the generator in the same state
+        # so downstream draws (saccades, sway) are unchanged.
+        rng_a = np.random.default_rng(7)
+        rng_b = np.random.default_rng(7)
+        _ou_series(500, 0.01, 0.8, 0.2, rng_a)
+        _ou_series_reference(500, 0.01, 0.8, 0.2, rng_b)
+        assert rng_a.integers(1 << 30) == rng_b.integers(1 << 30)
+
+    def test_empty_series(self):
+        assert _ou_series(0, 0.01, 0.8, 0.1,
+                          np.random.default_rng(0)).size == 0
+
+
+class TestDatasetWorkers:
+    def test_workers_do_not_change_dataset(self):
+        serial = generate_dataset(viewers=2, videos=2, duration_s=2.0,
+                                  workers=1)
+        fanned = generate_dataset(viewers=2, videos=2, duration_s=2.0,
+                                  workers=2)
+        assert len(serial) == len(fanned)
+        for a, b in zip(serial, fanned):
+            assert (a.viewer, a.video) == (b.viewer, b.video)
+            np.testing.assert_array_equal(a.positions, b.positions)
+            np.testing.assert_array_equal(a.eulers, b.eulers)
+            np.testing.assert_array_equal(a.step_linear_m,
+                                          b.step_linear_m)
+            np.testing.assert_array_equal(a.step_angular_rad,
+                                          b.step_angular_rad)

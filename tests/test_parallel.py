@@ -1,0 +1,82 @@
+"""Unit tests for the deterministic chunked process-pool map."""
+
+import pytest
+
+from repro.parallel import (
+    chunk_items,
+    default_workers,
+    parallel_map,
+)
+
+
+def square(x):
+    """Module-level so it pickles into pool workers."""
+    return x * x
+
+
+def explode(x):
+    raise RuntimeError("worker failure")
+
+
+class TestChunking:
+    def test_chunks_concatenate_to_input(self):
+        items = list(range(17))
+        chunks = chunk_items(items, 5)
+        assert [len(c) for c in chunks] == [5, 5, 5, 2]
+        assert [x for c in chunks for x in c] == items
+
+    def test_single_chunk(self):
+        assert chunk_items([1, 2], 10) == [[1, 2]]
+
+    def test_empty(self):
+        assert chunk_items([], 3) == []
+
+    def test_rejects_bad_chunk_size(self):
+        with pytest.raises(ValueError):
+            chunk_items([1], 0)
+
+
+class TestParallelMap:
+    def test_serial_matches_comprehension(self):
+        items = list(range(25))
+        assert parallel_map(square, items, workers=1) == \
+            [x * x for x in items]
+
+    def test_none_workers_is_serial(self):
+        assert parallel_map(square, [3, 4], workers=None) == [9, 16]
+
+    def test_rejects_zero_workers(self):
+        with pytest.raises(ValueError):
+            parallel_map(square, [1], workers=0)
+
+    def test_empty_items(self):
+        assert parallel_map(square, [], workers=4) == []
+
+    def test_parallel_preserves_order(self):
+        items = list(range(40))
+        assert parallel_map(square, items, workers=3) == \
+            [x * x for x in items]
+
+    def test_parallel_matches_serial(self):
+        items = list(range(23))
+        assert parallel_map(square, items, workers=4) == \
+            parallel_map(square, items, workers=1)
+
+    def test_explicit_chunk_size(self):
+        items = list(range(11))
+        assert parallel_map(square, items, workers=2, chunk_size=2) == \
+            [x * x for x in items]
+
+    def test_lambda_falls_back_to_serial(self):
+        # Lambdas do not pickle; the map must still return the right
+        # answer via the in-process fallback.
+        items = list(range(10))
+        assert parallel_map(lambda x: x + 1, items, workers=4) == \
+            [x + 1 for x in items]
+
+    def test_serial_path_propagates_exceptions(self):
+        with pytest.raises(RuntimeError):
+            parallel_map(explode, [1], workers=1)
+
+    def test_default_workers_positive(self):
+        assert default_workers() >= 1

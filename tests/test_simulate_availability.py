@@ -44,6 +44,37 @@ class TestReport:
         assert rep.effective_bandwidth_gbps(23.5) == pytest.approx(
             0.99 * 23.5)
 
+    def test_rejects_results_with_no_slots(self):
+        # All-empty traces carry zero slots: there is no availability
+        # to report, and it must not divide by zero.
+        with pytest.raises(ValueError):
+            report([result_from([]), result_from([])])
+
+    def test_empty_trace_mixed_with_real_ones(self):
+        rep = report([result_from([]),
+                      result_from([True] * 90 + [False] * 10)])
+        assert rep.overall_availability == pytest.approx(0.9)
+        # The empty trace contributes its defined 0.0 availability to
+        # the per-trace spread but no slots to the totals.
+        assert rep.worst == pytest.approx(0.0)
+
+    def test_totals_from_connected_arrays(self):
+        results = [result_from([True, False, True]),
+                   result_from([False, False])]
+        rep = report(results)
+        assert rep.overall_availability == pytest.approx(2 / 5)
+
+
+class TestSimulateDatasetWorkers:
+    def test_workers_do_not_change_results(self):
+        traces = generate_dataset(viewers=2, videos=2, duration_s=2.0)
+        serial = simulate_dataset(traces, workers=1)
+        fanned = simulate_dataset(traces, workers=2)
+        assert len(serial) == len(fanned)
+        for a, b in zip(serial, fanned):
+            assert (a.viewer, a.video) == (b.viewer, b.video)
+            np.testing.assert_array_equal(a.connected, b.connected)
+
 
 class TestClustering:
     def test_no_offs_fraction_is_one(self):

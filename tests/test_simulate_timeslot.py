@@ -2,9 +2,12 @@
 
 import numpy as np
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
-from repro.motion import HeadTrace
+from repro.motion import HeadTrace, generate_trace
 from repro.simulate import TimeslotParams, simulate_trace
+from repro.simulate.timeslot import _simulate_trace_reference
 
 
 def synthetic_trace(step_linear_m, step_angular_rad, dt_s=0.010):
@@ -99,3 +102,122 @@ class TestSimulateTrace:
         result = simulate_trace(trace)
         assert result.off_slots == result.slots - int(
             result.connected.sum())
+
+
+def _assert_matches_reference(trace, params):
+    vectorized = simulate_trace(trace, params)
+    reference = _simulate_trace_reference(trace, params)
+    np.testing.assert_array_equal(vectorized.connected,
+                                  reference.connected)
+    assert vectorized.viewer == reference.viewer
+    assert vectorized.video == reference.video
+
+
+@st.composite
+def trace_and_params(draw):
+    """A random trace plus random TimeslotParams.
+
+    ``slots_per_report`` spans 1..12 and ``tp_latency_slots`` spans
+    0..slots_per_report+3, deliberately crossing the never-realigns
+    boundary (latency >= slots_per_report).
+    """
+    slots_per_report = draw(st.integers(1, 12))
+    n_steps = draw(st.integers(0, 40))
+    magnitude = st.floats(min_value=0.0, max_value=0.05,
+                          allow_nan=False, allow_infinity=False)
+    step_linear = draw(st.lists(magnitude, min_size=n_steps,
+                                max_size=n_steps))
+    step_angular = draw(st.lists(magnitude, min_size=n_steps,
+                                 max_size=n_steps))
+    latency = draw(st.integers(0, slots_per_report + 3))
+    residual_lat = draw(st.floats(0.0, 5e-3, allow_nan=False))
+    residual_ang = draw(st.floats(0.0, 5e-3, allow_nan=False))
+    params = TimeslotParams(
+        slot_s=1e-3,
+        tp_latency_slots=latency,
+        residual_lateral_m=residual_lat,
+        residual_angular_rad=residual_ang,
+        lateral_tolerance_m=residual_lat + draw(
+            st.floats(1e-6, 8e-3, allow_nan=False)),
+        angular_tolerance_rad=residual_ang + draw(
+            st.floats(1e-6, 10e-3, allow_nan=False)),
+    )
+    trace = synthetic_trace(np.asarray(step_linear),
+                            np.asarray(step_angular),
+                            dt_s=slots_per_report * 1e-3)
+    return trace, params
+
+
+class TestVectorizedMatchesReference:
+    """The tentpole invariant: vectorized == reference, element-wise."""
+
+    @settings(max_examples=150, deadline=None)
+    @given(trace_and_params())
+    def test_property_equivalence(self, pair):
+        trace, params = pair
+        _assert_matches_reference(trace, params)
+
+    @pytest.mark.parametrize("latency", [0, 1, 2, 9, 10, 11, 99])
+    def test_latency_extremes_on_real_trace(self, latency):
+        trace = generate_trace(viewer=2, video=3, seed=11,
+                               duration_s=5.0)
+        _assert_matches_reference(
+            trace, TimeslotParams(tp_latency_slots=latency))
+
+    def test_real_trace_default_params(self):
+        trace = generate_trace(viewer=0, video=0, seed=2022,
+                               duration_s=10.0)
+        _assert_matches_reference(trace, TimeslotParams())
+
+    def test_empty_trace(self):
+        trace = synthetic_trace(np.zeros(0), np.zeros(0))
+        result = simulate_trace(trace)
+        assert result.slots == 0
+        _assert_matches_reference(trace, TimeslotParams())
+
+    def test_single_step_trace(self):
+        trace = synthetic_trace([1e-4], [2e-4])
+        _assert_matches_reference(trace, TimeslotParams())
+
+
+class TestLatencyAtOrBeyondReportPeriod:
+    """Regression: tp_latency_slots >= slots_per_report never realigns.
+
+    The ``sub == tp_latency_slots`` branch of the reference loop can
+    never fire, so the drift accumulates forever; this is the modelled
+    "TP too slow" regime, documented on TimeslotParams rather than
+    rejected.
+    """
+
+    def test_drift_accumulates_forever(self):
+        # Slow motion that a realigning TP absorbs trivially, but which
+        # disconnects permanently once drift is never reset.
+        step_ang = np.full(300, np.radians(10) * 0.01)
+        trace = synthetic_trace(np.zeros(300), step_ang)
+        aligned = simulate_trace(trace, TimeslotParams(tp_latency_slots=2))
+        drifting = simulate_trace(
+            trace, TimeslotParams(tp_latency_slots=10))
+        assert aligned.availability == 1.0
+        assert drifting.availability < 1.0
+        # Once disconnected, a monotone drift never reconnects.
+        off = np.flatnonzero(~drifting.connected)
+        assert off.size > 0
+        assert not drifting.connected[off[0]:].any()
+
+    def test_latency_equal_and_beyond_period_identical(self):
+        step_ang = np.full(120, np.radians(25) * 0.01)
+        trace = synthetic_trace(np.zeros(120), step_ang)
+        at_period = simulate_trace(
+            trace, TimeslotParams(tp_latency_slots=10))
+        beyond = simulate_trace(
+            trace, TimeslotParams(tp_latency_slots=17))
+        np.testing.assert_array_equal(at_period.connected,
+                                      beyond.connected)
+
+    def test_matches_reference_in_never_realign_regime(self):
+        step_ang = np.full(80, np.radians(25) * 0.01)
+        step_lin = np.full(80, 0.002)
+        trace = synthetic_trace(step_lin, step_ang)
+        for latency in (10, 11, 50):
+            _assert_matches_reference(
+                trace, TimeslotParams(tp_latency_slots=latency))
