@@ -11,6 +11,7 @@ can poke the system without writing code::
     python -m repro plan --width 4 --depth 3   # ceiling TX plan
     python -m repro formats           # the VR-format bandwidth ladder
     python -m repro bench             # time the trace pipeline
+    python -m repro chaos             # fault-injection robustness sweep
 """
 
 from __future__ import annotations
@@ -208,6 +209,47 @@ def _cmd_bench(args):
     return 0
 
 
+def _cmd_chaos(args):
+    """Sweep fault scenarios, supervised vs bare, write BENCH_chaos.json."""
+    import json
+    import time
+
+    from .faults.chaos import get_scenarios, run_chaos, sweep_payload
+    from .reporting import TextTable, fmt_float
+
+    names = args.scenarios.split(",") if args.scenarios else None
+    try:
+        scenarios = get_scenarios(names)
+    except KeyError as exc:
+        print(exc.args[0])
+        return 2
+    t0 = time.perf_counter()
+    records = run_chaos(scenarios, workers=args.workers)
+    wall_s = time.perf_counter() - t0
+
+    table = TextTable(["scenario", "bare up", "supervised up", "gain",
+                       "MTTR (s)", "recoveries"])
+    for r in records:
+        table.add_row(r["name"],
+                      fmt_float(r["unsupervised"]["availability"], 3),
+                      fmt_float(r["supervised"]["availability"], 3),
+                      fmt_float(r["uptime_gain"], 3),
+                      fmt_float(r["supervised"]["mttr_s"], 3),
+                      str(r["supervised"]["recovery_actions"]))
+    print(table.render())
+
+    # Wall time is printed but kept OUT of the payload so the file is
+    # byte-identical for any --workers setting.
+    payload = sweep_payload(records)
+    with open(args.output, "w") as handle:
+        json.dump(payload, handle, indent=2)
+        handle.write("\n")
+    print(f"mean uptime gain: {payload['mean_uptime_gain']:+.3f}")
+    print(f"wall: {wall_s:.2f} s (workers={args.workers})")
+    print(f"wrote {args.output}")
+    return 0
+
+
 def _cmd_scenarios(args):
     from .reporting import TextTable
     from .simulate import list_scenarios
@@ -282,6 +324,14 @@ def build_parser() -> argparse.ArgumentParser:
                        help="traces timed through the reference loop")
     bench.add_argument("--output", default="BENCH_trace_pipeline.json")
     bench.set_defaults(func=_cmd_bench)
+
+    chaos = sub.add_parser(
+        "chaos", help="fault-injection sweep, write BENCH_chaos.json")
+    chaos.add_argument("--scenarios", default=None,
+                       help="comma-separated scenario names (default all)")
+    chaos.add_argument("--workers", type=int, default=1)
+    chaos.add_argument("--output", default="BENCH_chaos.json")
+    chaos.set_defaults(func=_cmd_chaos)
 
     sub.add_parser("scenarios", help="list the experiment registry"
                    ).set_defaults(func=_cmd_scenarios)

@@ -13,6 +13,7 @@ Sub-modules map one-to-one onto Section 4 of the paper:
 * :mod:`system` -- the assembled learned system ``P`` consumes.
 """
 
+from ..galvo import CoverageError
 from .alignment import AlignmentResult, search
 from .errors import ErrorSummary, beam_error_m, summarize
 from .gma import GmaModel, board_hits, trace_batch
@@ -38,7 +39,12 @@ from .mapping import (
     fit_mapping,
     mean_coincidence_error_m,
 )
-from .pointing import PointingCommand, PointingDivergedError, point
+from .pointing import (
+    PointingCommand,
+    PointingDivergedError,
+    cold_start_seed,
+    point,
+)
 from .retraining import DriftMonitor, remap
 from .system import LearnedSystem
 
@@ -48,6 +54,7 @@ __all__ = [
     "BOARD_PLANE",
     "BoardRig",
     "BoardSample",
+    "CoverageError",
     "DriftMonitor",
     "DEFAULT_VOLTAGE_STEP_V",
     "ErrorSummary",
@@ -62,6 +69,7 @@ __all__ = [
     "board_hits",
     "coincidence_error_m",
     "coincidence_residuals",
+    "cold_start_seed",
     "evaluate_fit",
     "fit_gma",
     "fit_mapping",

@@ -51,6 +51,33 @@ class PointingCommand:
         return self.v_rx1, self.v_rx2
 
 
+def cold_start_seed(system: LearnedSystem, reported_pose: Pose,
+                    voltage_step_v: float = inverse.DEFAULT_VOLTAGE_STEP_V
+                    ) -> tuple:
+    """A pose-derived initial guess for ``point`` with no prior command.
+
+    Seeding the fixed-point iteration with all-zero voltages assumes
+    the headset sits near both GMAs' rest beams; far from home that
+    guess costs extra iterations or diverges outright.  This runs the
+    cheap half of one pointing round from rest: aim each GMA at the
+    other side's *rest* originating point via one ``G'`` solve each.
+    Falls back to the rest voltages if either solve diverges.
+    """
+    tx = system.tx_model_vr
+    rx = system.rx_model_vr(reported_pose)
+    p_t = tx.beam(0.0, 0.0).origin
+    p_r = rx.beam(0.0, 0.0).origin
+    try:
+        tx_solution = inverse.solve(tx, p_r, 0.0, 0.0,
+                                    voltage_step_v=voltage_step_v)
+        rx_solution = inverse.solve(rx, p_t, 0.0, 0.0,
+                                    voltage_step_v=voltage_step_v)
+    except inverse.InverseDivergedError:
+        return (0.0, 0.0, 0.0, 0.0)
+    return (tx_solution.v1, tx_solution.v2,
+            rx_solution.v1, rx_solution.v2)
+
+
 def point(system: LearnedSystem, reported_pose: Pose,
           initial=(0.0, 0.0, 0.0, 0.0),
           voltage_step_v: float = inverse.DEFAULT_VOLTAGE_STEP_V,

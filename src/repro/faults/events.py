@@ -1,0 +1,145 @@
+"""Structured session events: every fault and every recovery action.
+
+The chaos harness cares about *accountability*: after a faulted run it
+must be possible to say exactly what was injected, what the supervisor
+did about it, and what it cost.  :class:`EventLog` is the ordered,
+append-only record both sides write into; :func:`derive_metrics`
+reduces a finished run to MTTR / availability-under-faults numbers.
+
+Determinism matters here: event ``detail`` strings are rendered with
+fixed precision (:func:`fmt`) so a rerun with the same seed produces a
+byte-identical log, which the smoke tests and the ``chaos`` sweep
+assert.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Sequence
+
+import numpy as np
+
+#: Event sources.
+FAULT = "fault"
+RECOVERY = "recovery"
+
+#: Fault/recovery categories.
+TRACKER = "tracker"
+CHANNEL = "channel"
+ACTUATOR = "actuator"
+SUPERVISOR = "supervisor"
+
+
+def fmt(value: float) -> str:
+    """Canonical fixed-precision rendering for event details."""
+    return f"{float(value):.6f}"
+
+
+@dataclass(frozen=True)
+class SessionEvent:
+    """One timestamped thing that happened during a session."""
+
+    t_s: float
+    source: str      # FAULT or RECOVERY
+    category: str    # TRACKER / CHANNEL / ACTUATOR / SUPERVISOR
+    kind: str        # e.g. "dropout", "blockage", "retry", "remap"
+    detail: str = ""
+
+    def line(self) -> str:
+        """Canonical one-line rendering (stable across runs)."""
+        base = (f"{self.t_s:012.6f} {self.source} "
+                f"{self.category} {self.kind}")
+        return f"{base} {self.detail}" if self.detail else base
+
+
+class EventLog:
+    """Ordered, append-only event record shared by injector+supervisor."""
+
+    def __init__(self):
+        self._events: List[SessionEvent] = []
+
+    def record(self, t_s: float, source: str, category: str, kind: str,
+               detail: str = "") -> SessionEvent:
+        event = SessionEvent(t_s=float(t_s), source=source,
+                             category=category, kind=kind, detail=detail)
+        self._events.append(event)
+        return event
+
+    def fault(self, t_s: float, category: str, kind: str,
+              detail: str = "") -> SessionEvent:
+        return self.record(t_s, FAULT, category, kind, detail)
+
+    def recovery(self, t_s: float, kind: str,
+                 detail: str = "") -> SessionEvent:
+        return self.record(t_s, RECOVERY, SUPERVISOR, kind, detail)
+
+    @property
+    def events(self) -> tuple:
+        return tuple(self._events)
+
+    def lines(self) -> List[str]:
+        return [event.line() for event in self._events]
+
+    def text(self) -> str:
+        """The whole log as one canonical string (byte-comparable)."""
+        return "\n".join(self.lines())
+
+    def count(self, source: str = None, kind: str = None) -> int:
+        return sum(1 for e in self._events
+                   if (source is None or e.source == source)
+                   and (kind is None or e.kind == kind))
+
+
+@dataclass(frozen=True)
+class FaultMetrics:
+    """Derived robustness numbers for one finished session."""
+
+    availability: float        # uptime fraction over the whole run
+    outages: int               # contiguous down-spells
+    mttr_s: float              # mean down-spell length (0 if none)
+    longest_outage_s: float
+    faults_injected: int
+    recovery_actions: int
+
+    def as_dict(self) -> dict:
+        """JSON-ready representation (insertion-ordered, canonical)."""
+        return {
+            "availability": self.availability,
+            "outages": self.outages,
+            "mttr_s": self.mttr_s,
+            "longest_outage_s": self.longest_outage_s,
+            "faults_injected": self.faults_injected,
+            "recovery_actions": self.recovery_actions,
+        }
+
+
+def down_spells(link_up: Sequence[bool], dt_s: float) -> List[float]:
+    """Lengths (seconds) of contiguous link-down runs."""
+    up = np.asarray(link_up, dtype=bool)
+    if up.size == 0:
+        return []
+    down = ~up
+    edges = np.flatnonzero(np.diff(down.astype(int)))
+    bounds = np.concatenate([[0], edges + 1, [down.size]])
+    spells = []
+    for start, end in zip(bounds[:-1], bounds[1:]):
+        if down[start]:
+            spells.append((end - start) * dt_s)
+    return spells
+
+
+def derive_metrics(link_up: Sequence[bool], dt_s: float,
+                   events: Iterable[SessionEvent]) -> FaultMetrics:
+    """Reduce a run's link trace + event log to robustness metrics."""
+    events = list(events)
+    spells = down_spells(link_up, dt_s)
+    up = np.asarray(link_up, dtype=bool)
+    availability = float(np.mean(up)) if up.size else 0.0
+    return FaultMetrics(
+        availability=availability,
+        outages=len(spells),
+        mttr_s=float(np.mean(spells)) if spells else 0.0,
+        longest_outage_s=float(np.max(spells)) if spells else 0.0,
+        faults_injected=sum(1 for e in events if e.source == FAULT),
+        recovery_actions=sum(1 for e in events if e.source == RECOVERY),
+    )

@@ -1,0 +1,289 @@
+"""Fault injection wrappers: where the fault models meet the loop.
+
+:class:`FaultInjector` sits between :class:`PrototypeSession` and the
+three physical interfaces it drives -- ``VrhTracker.report``,
+``Testbed.apply_command`` and ``FsoChannel.evaluate`` -- and perturbs
+each call according to the armed fault models.  The core simulator
+classes are never modified; an un-faulted injector is a pure
+passthrough, so the session has a single code path.
+
+All schedule randomness is drawn from one generator seeded at
+construction, and every injection is recorded in the shared
+:class:`~repro.faults.events.EventLog`, which is what makes a faulted
+run byte-reproducible per ``(faults, seed)``.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..core import PointingCommand
+from ..geometry import RigidTransform
+from ..link.channel import AlignmentState
+from ..link.design import NOISE_FLOOR_DBM
+from ..vrh import Pose
+from . import models
+from .events import ACTUATOR, CHANNEL, TRACKER, EventLog, fmt
+
+
+class _WindowTimeline:
+    """Precomputed (start, end) windows with lazy entry logging."""
+
+    def __init__(self, fault, windows: List[Tuple[float, float]],
+                 log: EventLog):
+        self.fault = fault
+        self.windows = windows
+        self._log = log
+        self._logged = [False] * len(windows)
+
+    def active(self, t_s: float) -> Optional[int]:
+        """Index of the active window at ``t_s`` (logged on entry)."""
+        for i, (start, end) in enumerate(self.windows):
+            if start <= t_s < end:
+                if not self._logged[i]:
+                    self._logged[i] = True
+                    self._log.fault(
+                        t_s, self.fault.category, self.fault.kind,
+                        f"window={fmt(start)}..{fmt(end)}")
+                return i
+        return None
+
+
+class FaultInjector:
+    """Applies a set of fault models to one session run."""
+
+    def __init__(self, faults: Sequence, duration_s: float,
+                 seed: int = 0, log: Optional[EventLog] = None):
+        self.log = log if log is not None else EventLog()
+        self.duration_s = float(duration_s)
+        rng = np.random.default_rng(seed)
+        self._rng = rng
+
+        self._dropouts: List[_WindowTimeline] = []
+        self._freezes: List[_WindowTimeline] = []
+        self._outliers: List[Tuple[_WindowTimeline, List[np.ndarray]]] = []
+        self._blockages: List[_WindowTimeline] = []
+        self._drifts: List[models.TrackerDrift] = []
+        self._ramps: List[models.AttenuationRamp] = []
+        self._saturations: List[models.GalvoSaturation] = []
+        self._stuck: List[models.StuckMirror] = []
+        self._losses: List[models.CommandLoss] = []
+        self._jitters: List[models.CommandJitter] = []
+
+        # Fixed arming order => fixed RNG consumption => reproducible
+        # schedules for a given (faults, seed) pair.
+        for fault in faults:
+            self._arm(fault, duration_s, rng)
+
+        self._last_report: Optional[Pose] = None
+        self._ramp_logged = [False] * len(self._ramps)
+        self._stuck_logged = [False] * len(self._stuck)
+        self._saturating = False
+
+    # -- arming --------------------------------------------------------------
+
+    def _arm(self, fault, duration_s: float, rng) -> None:
+        if isinstance(fault, models.WINDOWED_FAULTS):
+            windows = fault.windows(duration_s, rng)
+            timeline = _WindowTimeline(fault, windows, self.log)
+            if isinstance(fault, models.TrackerDropout):
+                self._dropouts.append(timeline)
+            elif isinstance(fault, models.TrackerFreeze):
+                self._freezes.append(timeline)
+            elif isinstance(fault, models.TrackerOutlierBurst):
+                directions = []
+                for _ in windows:
+                    axis = rng.normal(size=3)
+                    directions.append(axis / np.linalg.norm(axis))
+                self._outliers.append((timeline, directions))
+            else:
+                self._blockages.append(timeline)
+            detail = f"windows={len(windows)}"
+        elif isinstance(fault, models.TrackerDrift):
+            self._drifts.append(fault)
+            detail = (f"onset={fmt(fault.onset_s)} "
+                      f"rate={fmt(fault.rate_m_per_s)} "
+                      f"max={fmt(fault.max_m)}")
+        elif isinstance(fault, models.AttenuationRamp):
+            self._ramps.append(fault)
+            detail = (f"start={fmt(fault.start_s)} "
+                      f"ramp={fmt(fault.ramp_db_per_s)} "
+                      f"max={fmt(fault.max_db)}")
+        elif isinstance(fault, models.GalvoSaturation):
+            self._saturations.append(fault)
+            detail = f"limit={fmt(fault.limit_v)}"
+        elif isinstance(fault, models.StuckMirror):
+            self._stuck.append(fault)
+            detail = (f"{fault.side}{fault.axis} "
+                      f"window={fmt(fault.start_s)}..{fmt(fault.end_s)}")
+        elif isinstance(fault, models.CommandLoss):
+            self._losses.append(fault)
+            detail = f"p={fmt(fault.probability)}"
+        elif isinstance(fault, models.CommandJitter):
+            self._jitters.append(fault)
+            detail = f"max={fmt(fault.max_extra_s)}"
+        else:
+            raise TypeError(f"unknown fault model: {fault!r}")
+        self.log.fault(0.0, fault.category, f"arm-{fault.kind}", detail)
+
+    # -- tracker side --------------------------------------------------------
+
+    def _drift_transform(self, t_s: float) -> Optional[RigidTransform]:
+        offset = np.zeros(3)
+        for drift in self._drifts:
+            offset = offset + drift.offset_at(t_s)
+        if not np.any(offset):
+            return None
+        return RigidTransform(np.eye(3), offset)
+
+    def tracker_report(self, t_s: float, tracker,
+                       pose: Pose) -> Optional[Pose]:
+        """One (possibly faulted) VRH-T report; None means "lost".
+
+        Precedence when windows overlap: dropout beats freeze beats
+        outlier; drift composes under everything.
+        """
+        if any(tl.active(t_s) is not None for tl in self._dropouts):
+            return None
+        if any(tl.active(t_s) is not None for tl in self._freezes):
+            if self._last_report is not None:
+                return self._last_report
+        clean = tracker.true_report_transform(pose)
+        for timeline, directions in self._outliers:
+            index = timeline.active(t_s)
+            if index is not None:
+                glitch = RigidTransform(
+                    np.eye(3), directions[index] * timeline.fault.offset_m)
+                clean = glitch.compose(clean)
+                break
+        drift = self._drift_transform(t_s)
+        if drift is not None:
+            clean = drift.compose(clean)
+        report = tracker.noisy_pose(clean)
+        self._last_report = report
+        return report
+
+    def calibration_report(self, t_s: float, tracker, pose: Pose) -> Pose:
+        """A report for re-training sample collection.
+
+        Transient faults (dropout/freeze/outlier) do not apply -- the
+        deployer retries until a valid sample lands -- but persistent
+        drift does: it is exactly what the remap has to learn.
+        """
+        clean = tracker.true_report_transform(pose)
+        drift = self._drift_transform(t_s)
+        if drift is not None:
+            clean = drift.compose(clean)
+        return tracker.noisy_pose(clean)
+
+    # -- actuator side -------------------------------------------------------
+
+    def command_latency_extra_s(self, t_s: float) -> float:
+        """Per-command control-channel jitter (consumes injector RNG)."""
+        extra = 0.0
+        for jitter in self._jitters:
+            extra += float(self._rng.uniform(0.0, jitter.max_extra_s))
+        return extra
+
+    def apply_command(self, t_s: float, testbed,
+                      command: PointingCommand) -> Optional[float]:
+        """Steer through the faults; None when the command was lost.
+
+        May raise :class:`repro.galvo.CoverageError` exactly like the
+        raw ``Testbed.apply_command`` it wraps.
+        """
+        for loss in self._losses:
+            if self._rng.random() < loss.probability:
+                self.log.fault(t_s, ACTUATOR, "command-loss")
+                return None
+        voltages = [command.v_tx1, command.v_tx2,
+                    command.v_rx1, command.v_rx2]
+        for saturation in self._saturations:
+            clamped = [saturation.clamp(v) for v in voltages]
+            if clamped != voltages and not self._saturating:
+                self._saturating = True
+                self.log.fault(t_s, ACTUATOR, "saturation",
+                               f"limit={fmt(saturation.limit_v)}")
+            elif clamped == voltages:
+                self._saturating = False
+            voltages = clamped
+        for i, stuck in enumerate(self._stuck):
+            if not stuck.active_at(t_s):
+                continue
+            if not self._stuck_logged[i]:
+                self._stuck_logged[i] = True
+                self.log.fault(t_s, ACTUATOR, "stuck",
+                               f"{stuck.side}{stuck.axis}")
+            held = (testbed.tx_hardware.voltages if stuck.side == "tx"
+                    else testbed.rx_hardware.voltages)
+            offset = 0 if stuck.side == "tx" else 2
+            voltages[offset + stuck.axis] = held[stuck.axis]
+        patched = PointingCommand(v_tx1=voltages[0], v_tx2=voltages[1],
+                                  v_rx1=voltages[2], v_rx2=voltages[3],
+                                  iterations=command.iterations)
+        return testbed.apply_command(patched)
+
+    # -- channel side --------------------------------------------------------
+
+    def blockage_active(self, t_s: float) -> bool:
+        """Whether any armed blockage window covers ``t_s``.
+
+        Checking does not log: only :meth:`channel_sample` records the
+        window, when the blockage actually darkens a sample.
+        """
+        return any(start <= t_s < end
+                   for tl in self._blockages
+                   for start, end in tl.windows)
+
+    def channel_sample(self, t_s: float, channel,
+                       pose: Pose) -> AlignmentState:
+        """One channel evaluation with blockage/attenuation applied."""
+        sample = channel.evaluate(pose)
+        power = sample.received_power_dbm
+        for i, ramp in enumerate(self._ramps):
+            loss = ramp.extra_loss_db(t_s)
+            if loss > 0.0:
+                if not self._ramp_logged[i]:
+                    self._ramp_logged[i] = True
+                    self.log.fault(t_s, CHANNEL, "attenuation",
+                                   f"ramp={fmt(ramp.ramp_db_per_s)}")
+                power -= loss
+        if any(tl.active(t_s) is not None for tl in self._blockages):
+            power = NOISE_FLOOR_DBM
+        power = max(power, NOISE_FLOOR_DBM)
+        if power == sample.received_power_dbm:
+            return sample
+        return AlignmentState(
+            received_power_dbm=power,
+            axis_offset_m=sample.axis_offset_m,
+            incidence_angle_rad=sample.incidence_angle_rad,
+            range_m=sample.range_m,
+            connected=channel.design.sfp.signal_detected(power),
+        )
+
+
+class NullInjector:
+    """Passthrough injector: the un-faulted single code path."""
+
+    def __init__(self, log: Optional[EventLog] = None):
+        self.log = log if log is not None else EventLog()
+
+    def tracker_report(self, t_s, tracker, pose):
+        return tracker.report(pose)
+
+    def calibration_report(self, t_s, tracker, pose):
+        return tracker.report(pose)
+
+    def command_latency_extra_s(self, t_s):
+        return 0.0
+
+    def apply_command(self, t_s, testbed, command):
+        return testbed.apply_command(command)
+
+    def blockage_active(self, t_s):
+        return False
+
+    def channel_sample(self, t_s, channel, pose):
+        return channel.evaluate(pose)

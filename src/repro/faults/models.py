@@ -1,0 +1,258 @@
+"""Seeded, composable fault models for the closed-loop link.
+
+Each fault is a small frozen dataclass describing *what* goes wrong;
+the schedule of *when* is drawn once per run by the
+:class:`~repro.faults.inject.FaultInjector` from an RNG seeded at
+construction, so the same ``(faults, seed, duration)`` triple always
+yields the same timeline.  Three families mirror the failure modes the
+paper's §5.2-§5.3 machinery exists to survive:
+
+* **tracker** -- VRH-T report dropouts, frozen-pose stalls, outlier
+  bursts, and slow drift onset (the §4 remap trigger);
+* **channel** -- LOS blockage windows (reusing the handover study's
+  :class:`~repro.simulate.handover.OcclusionEvent`) and gradual extra
+  attenuation (dust, mist, a smudged window);
+* **actuator** -- galvo voltage saturation, a stuck mirror axis, and
+  control-channel command loss / latency jitter.
+
+Window-based faults expose ``windows(duration_s, rng)``; continuous
+faults expose their own per-time evaluation.  Nothing here touches the
+core models -- injection happens entirely in wrappers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+import numpy as np
+
+#: Categories, shared with the event log.
+TRACKER = "tracker"
+CHANNEL = "channel"
+ACTUATOR = "actuator"
+
+
+def poisson_windows(rng: np.random.Generator, duration_s: float,
+                    rate_hz: float, mean_duration_s: float,
+                    min_duration_s: float = 1e-3
+                    ) -> List[Tuple[float, float]]:
+    """Random fault windows: Poisson arrivals, exponential durations.
+
+    Windows are clipped to ``[0, duration_s]`` and never overlap -- a
+    new arrival during an active window is discarded, matching how a
+    physical cause (a person in the beam) cannot re-occur while it is
+    still occurring.
+    """
+    if rate_hz < 0 or mean_duration_s <= 0:
+        raise ValueError("rate must be >= 0 and mean duration positive")
+    windows: List[Tuple[float, float]] = []
+    t = 0.0
+    last_end = 0.0
+    while rate_hz > 0:
+        t += float(rng.exponential(1.0 / rate_hz))
+        if t >= duration_s:
+            break
+        length = max(float(rng.exponential(mean_duration_s)),
+                     min_duration_s)
+        if t < last_end:
+            continue
+        end = min(t + length, duration_s)
+        windows.append((t, end))
+        last_end = end
+    return windows
+
+
+@dataclass(frozen=True)
+class TrackerDropout:
+    """VRH-T reports silently stop arriving for short windows."""
+
+    rate_hz: float = 0.4
+    mean_duration_s: float = 0.08
+
+    category = TRACKER
+    kind = "dropout"
+
+    def windows(self, duration_s, rng):
+        return poisson_windows(rng, duration_s, self.rate_hz,
+                               self.mean_duration_s)
+
+
+@dataclass(frozen=True)
+class TrackerFreeze:
+    """The tracker keeps reporting, but the pose is stale (stalled)."""
+
+    rate_hz: float = 0.3
+    mean_duration_s: float = 0.12
+
+    category = TRACKER
+    kind = "freeze"
+
+    def windows(self, duration_s, rng):
+        return poisson_windows(rng, duration_s, self.rate_hz,
+                               self.mean_duration_s)
+
+
+@dataclass(frozen=True)
+class TrackerOutlierBurst:
+    """Short bursts of wildly wrong position reports.
+
+    Each window gets one fixed offset direction (drawn from the
+    injector RNG) of magnitude ``offset_m`` -- the signature of a
+    re-localization glitch, not white noise.
+    """
+
+    rate_hz: float = 0.25
+    mean_duration_s: float = 0.05
+    offset_m: float = 0.3
+
+    category = TRACKER
+    kind = "outlier"
+
+    def windows(self, duration_s, rng):
+        return poisson_windows(rng, duration_s, self.rate_hz,
+                               self.mean_duration_s)
+
+
+@dataclass(frozen=True)
+class TrackerDrift:
+    """Slow VRH-T drift onset: the VR frame creeps off its anchor.
+
+    Deterministic (no schedule RNG): from ``onset_s`` the reported
+    frame translates along ``direction`` at ``rate_m_per_s`` until the
+    offset saturates at ``max_m`` -- the §4 situation whose only cure
+    is a mapping-only re-training.
+    """
+
+    onset_s: float = 2.0
+    rate_m_per_s: float = 0.004
+    max_m: float = 0.04
+    direction: Tuple[float, float, float] = (1.0, 0.0, 0.0)
+
+    category = TRACKER
+    kind = "drift"
+
+    def offset_at(self, t_s: float) -> np.ndarray:
+        axis = np.asarray(self.direction, dtype=float)
+        norm = np.linalg.norm(axis)
+        if norm == 0:
+            raise ValueError("drift direction cannot be zero")
+        magnitude = min(max(t_s - self.onset_s, 0.0) * self.rate_m_per_s,
+                        self.max_m)
+        return axis / norm * magnitude
+
+
+@dataclass(frozen=True)
+class ChannelBlockage:
+    """LOS blockage windows: someone walks through the beam.
+
+    Either pass explicit ``events`` -- anything with ``start_s`` /
+    ``end_s`` attributes, by design the handover study's
+    :class:`repro.simulate.handover.OcclusionEvent` -- or let the
+    injector draw Poisson windows; explicit events win when both are
+    given.  (Duck-typed rather than imported so the faults package
+    never depends on the simulation package it is injected into.)
+    """
+
+    rate_hz: float = 0.2
+    mean_duration_s: float = 0.4
+    events: Tuple = ()
+
+    category = CHANNEL
+    kind = "blockage"
+
+    def windows(self, duration_s, rng):
+        if self.events:
+            return [(ev.start_s, min(ev.end_s, duration_s))
+                    for ev in self.events if ev.start_s < duration_s]
+        return poisson_windows(rng, duration_s, self.rate_hz,
+                               self.mean_duration_s)
+
+
+@dataclass(frozen=True)
+class AttenuationRamp:
+    """Extra channel loss ramping up from ``start_s`` (deterministic)."""
+
+    start_s: float = 0.0
+    ramp_db_per_s: float = 1.0
+    max_db: float = 8.0
+
+    category = CHANNEL
+    kind = "attenuation"
+
+    def extra_loss_db(self, t_s: float) -> float:
+        return min(max(t_s - self.start_s, 0.0) * self.ramp_db_per_s,
+                   self.max_db)
+
+
+@dataclass(frozen=True)
+class GalvoSaturation:
+    """The servo amplifier saturates below the DAQ's nominal range.
+
+    Commanded voltages beyond ``limit_v`` are clamped (an aged or
+    misconfigured driver), silently degrading pointing accuracy at the
+    edges of the coverage cone.
+    """
+
+    limit_v: float = 6.0
+
+    category = ACTUATOR
+    kind = "saturation"
+
+    def clamp(self, voltage: float) -> float:
+        return min(max(voltage, -self.limit_v), self.limit_v)
+
+
+@dataclass(frozen=True)
+class StuckMirror:
+    """One mirror axis stops responding for a window (deterministic)."""
+
+    start_s: float = 1.0
+    end_s: float = 2.0
+    side: str = "tx"      # "tx" or "rx"
+    axis: int = 0         # 0 = first mirror voltage, 1 = second
+
+    category = ACTUATOR
+    kind = "stuck"
+
+    def __post_init__(self):
+        if self.side not in ("tx", "rx"):
+            raise ValueError("side must be 'tx' or 'rx'")
+        if self.axis not in (0, 1):
+            raise ValueError("axis must be 0 or 1")
+
+    def active_at(self, t_s: float) -> bool:
+        return self.start_s <= t_s < self.end_s
+
+
+@dataclass(frozen=True)
+class CommandLoss:
+    """Control-channel loss: a fraction of commands never arrive."""
+
+    probability: float = 0.05
+
+    category = ACTUATOR
+    kind = "command-loss"
+
+    def __post_init__(self):
+        if not 0.0 <= self.probability <= 1.0:
+            raise ValueError("loss probability must be in [0, 1]")
+
+
+@dataclass(frozen=True)
+class CommandJitter:
+    """Control-channel latency jitter added per delivered command."""
+
+    max_extra_s: float = 0.004
+
+    category = ACTUATOR
+    kind = "command-jitter"
+
+    def __post_init__(self):
+        if self.max_extra_s < 0:
+            raise ValueError("jitter cannot be negative")
+
+
+#: Fault classes whose schedule is a list of (start, end) windows.
+WINDOWED_FAULTS = (TrackerDropout, TrackerFreeze, TrackerOutlierBurst,
+                   ChannelBlockage)

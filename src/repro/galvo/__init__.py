@@ -1,12 +1,13 @@
 """Galvo-mirror hardware substrate: specs, geometry, DAQ, ground truth."""
 
 from .daq import Daq
-from .galvo import GalvoHardware
+from .galvo import CoverageError, GalvoHardware
 from .mirror import GmaParams, canonical_gma, mirror_planes, trace
 from .servo import ServoModel
 from .specs import GVS102, GalvoSpec
 
 __all__ = [
+    "CoverageError",
     "Daq",
     "GVS102",
     "GalvoHardware",

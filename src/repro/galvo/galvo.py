@@ -25,6 +25,17 @@ from .mirror import GmaParams, mirror_planes, trace
 from .specs import GVS102, GalvoSpec
 
 
+class CoverageError(ValueError):
+    """A commanded voltage fell outside the GM coverage cone.
+
+    The servo controller rejects voltages beyond the DAQ's +/-10 V
+    range rather than clamping, so pointing must stay inside the
+    field-of-view the mirrors can reach.  Subclasses ``ValueError``
+    for backward compatibility with callers that caught the generic
+    rejection.
+    """
+
+
 @dataclass
 class GalvoHardware:
     """Ground-truth GMA: hidden true parameters plus imperfections.
@@ -66,7 +77,7 @@ class GalvoHardware:
         """
         for v in (v1, v2):
             if not self.daq.in_range(v):
-                raise ValueError(
+                raise CoverageError(
                     f"voltage {v:+.3f} V outside the +/-"
                     f"{self.daq.voltage_range_v:.0f} V range")
         new_v1 = self.daq.quantize(v1)

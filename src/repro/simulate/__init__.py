@@ -12,6 +12,7 @@ from .montecarlo import MetricSummary, calibration_quality, sweep_seeds
 from .rig import CalibrationOutcome, Testbed
 from .scenarios import SCENARIOS, Scenario, get_scenario, list_scenarios
 from .session import PrototypeSession, SessionResult, surviving_speed_threshold
+from .supervisor import Supervisor
 from .timeslot import TimeslotParams, TimeslotResult, simulate_trace
 
 __all__ = [
@@ -27,6 +28,7 @@ __all__ = [
     "SCENARIOS",
     "Scenario",
     "SessionResult",
+    "Supervisor",
     "Testbed",
     "TimeslotParams",
     "TimeslotResult",

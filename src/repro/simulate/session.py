@@ -12,6 +12,14 @@
   machine (including the seconds-long re-lock after a loss) and the
   iperf-style windowed throughput meter.
 
+The loop optionally runs under *fault injection* (``faults=``, a list
+of :mod:`repro.faults` models applied through wrapper interfaces -- the
+core models stay untouched) and under *supervised recovery*
+(``supervisor=``, a :class:`repro.simulate.supervisor.Supervisor`
+implementing the watchdog / retry / hold-off / remap escalation
+ladder).  Every injected fault and every recovery action lands in the
+:class:`SessionResult`'s structured event log.
+
 The tolerated-speed thresholds of Figs. 13-15 / Table 3 are *read off*
 these runs -- nothing in the loop knows about them.
 """
@@ -19,21 +27,26 @@ these runs -- nothing in the loop knows about them.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import List, Optional, Sequence, Union
 
 import numpy as np
 
 from .. import constants
 from ..core import (
+    CoverageError,
     InverseDivergedError,
     LearnedSystem,
     PointingCommand,
     PointingDivergedError,
+    cold_start_seed,
     point,
 )
+from ..faults import FaultInjector, NullInjector
+from ..faults.events import EventLog, FaultMetrics, derive_metrics
 from ..link import LinkStateMachine
 from ..net import ThroughputMeter, ThroughputWindow
 from .rig import Testbed
+from .supervisor import Supervisor
 
 
 @dataclass(frozen=True)
@@ -46,6 +59,11 @@ class SessionResult:
     link_up: np.ndarray
     pointing_calls: int
     pointing_failures: int
+    #: Commands rejected for leaving the GM coverage cone -- counted
+    #: separately from solve divergences since the cure differs.
+    coverage_failures: int = 0
+    #: Structured log: every injected fault and recovery action.
+    events: tuple = ()
 
     @property
     def uptime_fraction(self) -> float:
@@ -55,6 +73,24 @@ class SessionResult:
 
     def throughputs_gbps(self) -> np.ndarray:
         return np.array([w.throughput_gbps for w in self.windows])
+
+    # -- structured event log ------------------------------------------------
+
+    def event_lines(self) -> List[str]:
+        """Canonical one-line-per-event rendering (reproducible)."""
+        return [event.line() for event in self.events]
+
+    def event_log_text(self) -> str:
+        """The whole event log as one byte-comparable string."""
+        return "\n".join(self.event_lines())
+
+    def fault_metrics(self) -> FaultMetrics:
+        """Derived MTTR / availability-under-faults numbers."""
+        if self.sample_times_s.size >= 2:
+            dt_s = float(self.sample_times_s[1] - self.sample_times_s[0])
+        else:
+            dt_s = 1e-3
+        return derive_metrics(self.link_up, dt_s, self.events)
 
 
 @dataclass
@@ -68,8 +104,19 @@ class PrototypeSession:
 
     def run(self, profile, duration_s: Optional[float] = None,
             dt_s: float = 1e-3, window_s: float = 0.05,
-            start_aligned: bool = True) -> SessionResult:
-        """Run the closed loop over a motion profile."""
+            start_aligned: bool = True,
+            faults: Union[Sequence, FaultInjector, None] = None,
+            fault_seed: int = 0,
+            supervisor: Optional[Supervisor] = None) -> SessionResult:
+        """Run the closed loop over a motion profile.
+
+        ``faults`` arms fault models (or a prebuilt
+        :class:`~repro.faults.inject.FaultInjector`); ``fault_seed``
+        seeds their schedules.  ``supervisor`` enables the recovery
+        ladder; without it the loop degrades exactly as the bare
+        prototype would (single pointing attempt, no hold-off, no
+        mid-session remap).
+        """
         if duration_s is None:
             duration_s = profile.duration_s
         testbed = self.testbed
@@ -79,15 +126,32 @@ class PrototypeSession:
                                 window_s=window_s)
         state = LinkStateMachine(sfp, initially_up=start_aligned)
 
-        last_command = self._point(tracker.report(profile.pose_at(0.0)),
-                                   seed=(0.0, 0.0, 0.0, 0.0))
+        log = EventLog()
+        if faults is None:
+            injector = NullInjector(log)
+        elif isinstance(faults, (FaultInjector, NullInjector)):
+            injector = faults
+            log = injector.log
+        else:
+            injector = FaultInjector(faults, duration_s,
+                                     seed=fault_seed, log=log)
+        if supervisor is not None:
+            supervisor.reset(log)
+
+        system = self.system
+        first_report = tracker.report(profile.pose_at(0.0))
+        last_command = self._point(system, first_report,
+                                   seed=cold_start_seed(system,
+                                                        first_report))
         pointing_calls = 1
         pointing_failures = 0
+        coverage_failures = 0
         if start_aligned and last_command is not None:
             testbed.apply_command(last_command)
 
         next_report_s = tracker.next_period_s()
         pending: Optional[tuple] = None  # (apply_at_s, command)
+        just_applied = False
         times, powers, ups = [], [], []
         steps = int(round(duration_s / dt_s))
         for step in range(1, steps + 1):
@@ -96,31 +160,54 @@ class PrototypeSession:
 
             if pending is not None and t >= pending[0]:
                 try:
-                    testbed.apply_command(pending[1])
-                    last_command = pending[1]
-                except ValueError:
+                    if injector.apply_command(t, testbed,
+                                              pending[1]) is not None:
+                        last_command = pending[1]
+                        just_applied = True
+                except CoverageError:
                     # Out of the GM coverage cone: mirrors hold still.
-                    pointing_failures += 1
+                    coverage_failures += 1
                 pending = None
 
             if t >= next_report_s and pending is None:
-                report = tracker.report(pose)
-                seed = self._command_tuple(last_command)
-                command = self._point(report, seed=seed)
-                pointing_calls += 1
-                if command is None:
-                    pointing_failures += 1
+                report = injector.tracker_report(t, tracker, pose)
+                if supervisor is not None:
+                    wants_pointing = (supervisor.accept_report(t, report)
+                                      and not supervisor.holding(t))
                 else:
-                    apply_at = t + self.control_latency_s \
-                        + self.pointing_latency_s
-                    pending = (apply_at, command)
+                    wants_pointing = report is not None
+                if wants_pointing:
+                    pointing_calls += 1
+                    command = self._point_with_retries(
+                        t, system, report, last_command, supervisor)
+                    if command is None:
+                        pointing_failures += 1
+                    else:
+                        apply_at = (t + self.control_latency_s
+                                    + self.pointing_latency_s
+                                    + injector.command_latency_extra_s(t))
+                        pending = (apply_at, command)
                 next_report_s = t + tracker.next_period_s()
 
-            sample = testbed.channel.evaluate(pose)
-            up = state.observe(t, sample.received_power_dbm)
+            sample = injector.channel_sample(t, testbed.channel, pose)
+            power = sample.received_power_dbm
+            if supervisor is not None:
+                supervisor.observe_power(t, power,
+                                         sfp.rx_sensitivity_dbm)
+                if just_applied and not supervisor.holding(t):
+                    refitted = supervisor.observe_post_tp_power(
+                        t, power, testbed, injector, system)
+                    if refitted is not None:
+                        system = refitted
+                        last_command = None
+                        pending = None
+                if sample.connected and last_command is not None:
+                    supervisor.note_good_command(last_command)
+            just_applied = False
+            up = state.observe(t, power)
             meter.record(t, up, dt_s)
             times.append(t)
-            powers.append(sample.received_power_dbm)
+            powers.append(power)
             ups.append(up)
 
         return SessionResult(
@@ -130,19 +217,46 @@ class PrototypeSession:
             link_up=np.array(ups, dtype=bool),
             pointing_calls=pointing_calls,
             pointing_failures=pointing_failures,
+            coverage_failures=coverage_failures,
+            events=log.events,
         )
 
+    def _point_with_retries(self, t: float, system: LearnedSystem,
+                            report, last_command,
+                            supervisor: Optional[Supervisor]
+                            ) -> Optional[PointingCommand]:
+        """One solve, plus the supervisor's fallback-seed ladder."""
+        if last_command is not None:
+            seed = self._command_tuple(last_command)
+        else:
+            seed = cold_start_seed(system, report)
+        command = self._point(system, report, seed=seed)
+        if command is not None or supervisor is None:
+            return command
+        attempts = 1
+        for name, fallback in supervisor.fallback_seeds(
+                cold_start_seed(system, report)):
+            if fallback == seed:
+                continue
+            attempts += 1
+            supervisor.note_retry(t, attempts, name)
+            command = self._point(system, report, seed=fallback)
+            if command is not None:
+                return command
+        supervisor.note_give_up(t, attempts)
+        return None
+
     @staticmethod
-    def _command_tuple(command: Optional[PointingCommand]) -> tuple:
-        if command is None:
-            return (0.0, 0.0, 0.0, 0.0)
+    def _command_tuple(command: PointingCommand) -> tuple:
         return (command.v_tx1, command.v_tx2,
                 command.v_rx1, command.v_rx2)
 
-    def _point(self, report, seed) -> Optional[PointingCommand]:
+    @staticmethod
+    def _point(system: LearnedSystem, report,
+               seed) -> Optional[PointingCommand]:
         """Run ``P``; a diverged solve means "no update this report"."""
         try:
-            return point(self.system, report, initial=seed)
+            return point(system, report, initial=seed)
         except (PointingDivergedError, InverseDivergedError):
             return None
 

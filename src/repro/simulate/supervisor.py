@@ -1,0 +1,275 @@
+"""Supervised recovery for the live session loop.
+
+The paper's machinery -- remap-only retraining (§4), the SFP re-lock
+state machine (§5.3), occlusion handover (§3) -- only pays off if
+something in the loop *decides* when to use it.  :class:`Supervisor`
+is that layer.  It implements a small escalation ladder:
+
+1. **Watchdog** -- detect stale (missing) and frozen (stalled) tracker
+   reports; hold pointing instead of chasing a dead pose.
+2. **Bounded retries** -- a diverged pointing solve gets up to
+   ``retry_budget`` fallback seeds (last-known-good command, then a
+   pose-derived cold-start seed) instead of a single silent give-up.
+3. **Blockage hold-off** -- a healthy link that goes dark *in one
+   sample step* is a blockage, not a tracking failure; freeze the
+   mirrors so the beam is still aligned when the LOS returns, and keep
+   the drift monitor unpolluted, instead of thrashing re-locks.
+4. **Escalation to remap** -- persistent post-TP power degradation
+   trips a :class:`~repro.core.retraining.DriftMonitor`, which triggers
+   a mid-session mapping-only re-training (:func:`repro.core.remap`).
+
+Every decision is recorded in the session's event log, so a run can be
+audited action by action.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from ..core import AlignedSample, DriftMonitor, remap
+from ..faults.events import EventLog, fmt
+from ..link.design import NOISE_FLOOR_DBM
+
+
+@dataclass
+class Supervisor:
+    """Recovery policy + per-run state for one supervised session.
+
+    Construct one per :meth:`PrototypeSession.run` call (``run`` resets
+    it defensively).  All thresholds are policy, not physics: they are
+    deliberately conservative defaults tuned for the 80 Hz report rate
+    and millisecond channel sampling of the prototype loop.
+    """
+
+    #: No fresh report for this long means the tracker is stale.
+    watchdog_timeout_s: float = 0.05
+    #: Reports implying faster motion than this are outliers: a head
+    #: cannot cross 0.3 m between 80 Hz reports, so do not chase it.
+    outlier_speed_m_s: float = 5.0
+    #: The plausibility radius grows with time since the last accepted
+    #: report, but only up to this horizon -- otherwise a long outlier
+    #: burst "dilutes" its own implied speed below the gate.
+    outlier_horizon_s: float = 0.04
+    #: After this many consecutive rejects, believe the tracker anyway
+    #: (the pose really can jump, e.g. a re-localization).
+    outlier_streak_max: int = 8
+    #: Extra pointing attempts (fallback seeds) after a diverged solve.
+    retry_budget: int = 2
+    #: Power within this many dB of the noise floor counts as "dark".
+    blockage_margin_db: float = 1.0
+    #: Longest the mirrors are held still waiting out a blockage.
+    blockage_hold_max_s: float = 3.0
+    #: DriftMonitor policy for the escalation ladder's last rung.
+    drift_degradation_db: float = 6.0
+    drift_baseline_samples: int = 40
+    drift_window: int = 20
+    #: A tripped monitor only escalates once power is within this many
+    #: dB of RX sensitivity.  Degradation with margin to spare (an
+    #: attenuation ramp that never threatens the budget) is cheaper to
+    #: ride out than a remap's re-lock outage.
+    escalate_margin_db: float = 3.0
+    #: Mapping samples collected per mid-session remap.
+    remap_samples: int = 6
+    #: More than one rung: a drift still ramping when the first remap
+    #: fires will trip the monitor again and earn another.
+    max_remaps: int = 2
+    #: Sim-time charged for a remap (pointing holds while it runs).
+    remap_cost_s: float = 0.25
+
+    log: EventLog = field(default_factory=EventLog, repr=False)
+
+    def __post_init__(self):
+        self.reset(self.log)
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def reset(self, log: EventLog) -> None:
+        """Fresh per-run state (called by ``PrototypeSession.run``)."""
+        self.log = log
+        self._monitor = DriftMonitor(
+            degradation_db=self.drift_degradation_db,
+            window=self.drift_window,
+            baseline_samples=self.drift_baseline_samples)
+        self._last_fresh_t: float = 0.0
+        self._last_position: Optional[np.ndarray] = None
+        self._stale_logged = False
+        self._frozen_logged = False
+        self._outlier_streak = 0
+        self._blocked = False
+        self._blocked_since = 0.0
+        self._hold_until = -np.inf
+        self._last_power: Optional[float] = None
+        self._last_good_command = None
+        self._remaps_done = 0
+        self.retries = 0
+        self.remaps = 0
+        self.holds = 0
+
+    # -- watchdog ------------------------------------------------------------
+
+    def accept_report(self, t_s: float, report) -> bool:
+        """Gate one tracker report; False means "hold, do not point".
+
+        A missing report past the watchdog timeout is logged as a
+        stall; a report whose position is bit-identical to the previous
+        one is a frozen tracker, and re-pointing at a dead pose is
+        skipped (the mirrors already aim there).
+        """
+        if report is None:
+            if (t_s - self._last_fresh_t > self.watchdog_timeout_s
+                    and not self._stale_logged):
+                self._stale_logged = True
+                self.log.recovery(t_s, "watchdog-stale",
+                                  f"since={fmt(self._last_fresh_t)}")
+            return False
+        frozen = (self._last_position is not None
+                  and np.array_equal(report.position, self._last_position))
+        if frozen:
+            if not self._frozen_logged:
+                self._frozen_logged = True
+                self.log.recovery(t_s, "freeze-hold")
+            return False
+        if self._last_position is not None:
+            elapsed = max(t_s - self._last_fresh_t, 1e-6)
+            dist = float(np.linalg.norm(
+                np.asarray(report.position) - self._last_position))
+            radius = (self.outlier_speed_m_s
+                      * min(elapsed, self.outlier_horizon_s))
+            if dist > radius:
+                speed = dist / elapsed
+                self._outlier_streak += 1
+                if self._outlier_streak <= self.outlier_streak_max:
+                    if self._outlier_streak == 1:
+                        self.log.recovery(t_s, "outlier-reject",
+                                          f"speed={fmt(speed)}")
+                    return False
+                self.log.recovery(t_s, "outlier-accept",
+                                  f"streak={self._outlier_streak}")
+        self._outlier_streak = 0
+        if self._stale_logged:
+            self.log.recovery(t_s, "watchdog-recover",
+                              f"stalled={fmt(t_s - self._last_fresh_t)}")
+        self._stale_logged = False
+        self._frozen_logged = False
+        self._last_fresh_t = t_s
+        self._last_position = np.array(report.position, copy=True)
+        return True
+
+    # -- retry ladder --------------------------------------------------------
+
+    def fallback_seeds(self, cold_seed) -> list:
+        """Seeds to retry a diverged solve with, in escalation order."""
+        seeds = []
+        if self._last_good_command is not None:
+            cmd = self._last_good_command
+            seeds.append(("last-good", (cmd.v_tx1, cmd.v_tx2,
+                                        cmd.v_rx1, cmd.v_rx2)))
+        seeds.append(("cold-start", tuple(cold_seed)))
+        return seeds[:self.retry_budget]
+
+    def note_retry(self, t_s: float, attempt: int, seed_name: str) -> None:
+        self.retries += 1
+        self.log.recovery(t_s, "retry",
+                          f"attempt={attempt} seed={seed_name}")
+
+    def note_give_up(self, t_s: float, attempts: int) -> None:
+        self.log.recovery(t_s, "give-up", f"attempts={attempts}")
+
+    def note_good_command(self, command) -> None:
+        """Remember the last command that produced a connected link."""
+        self._last_good_command = command
+
+    # -- blockage hold-off ---------------------------------------------------
+
+    def observe_power(self, t_s: float, power_dbm: float,
+                      sensitivity_dbm: float) -> None:
+        """Track the power trace; drives blockage detection."""
+        dark = power_dbm <= NOISE_FLOOR_DBM + self.blockage_margin_db
+        if t_s < self._hold_until:
+            # Inside a remap's cost window the mirrors are wherever the
+            # calibration left them; a dark sample here is self-made,
+            # not a blockage.
+            self._last_power = power_dbm
+            return
+        if not self._blocked:
+            was_healthy = (self._last_power is not None
+                           and self._last_power >= sensitivity_dbm)
+            if dark and was_healthy:
+                # Healthy to pitch-dark in one millisecond step: that
+                # is an object in the beam, not a tracking failure.
+                self._blocked = True
+                self._blocked_since = t_s
+                self.holds += 1
+                self.log.recovery(t_s, "blockage-hold",
+                                  f"power={fmt(power_dbm)}")
+        else:
+            if not dark:
+                self._blocked = False
+                self.log.recovery(
+                    t_s, "blockage-clear",
+                    f"held={fmt(t_s - self._blocked_since)}")
+            elif t_s - self._blocked_since > self.blockage_hold_max_s:
+                self._blocked = False
+                self.log.recovery(t_s, "blockage-hold-timeout")
+        self._last_power = power_dbm
+
+    def holding(self, t_s: float) -> bool:
+        """Whether pointing updates are currently suppressed."""
+        return self._blocked or t_s < self._hold_until
+
+    # -- escalation to remap -------------------------------------------------
+
+    def observe_post_tp_power(self, t_s: float, power_dbm: float,
+                              testbed, injector, system):
+        """Feed the drift monitor; returns a new system after a remap.
+
+        Returns None when nothing escalated.  Never called while
+        holding (the session gates it), so blockage floors cannot trip
+        the monitor.
+        """
+        if not self._monitor.observe(power_dbm):
+            return None
+        if self._remaps_done >= self.max_remaps:
+            return None
+        if power_dbm <= NOISE_FLOOR_DBM + self.blockage_margin_db:
+            # Cannot calibrate in the dark; leave the monitor tripped
+            # and try again when light returns.
+            return None
+        sensitivity = testbed.design.sfp.rx_sensitivity_dbm
+        if power_dbm > sensitivity + self.escalate_margin_db:
+            # Degraded, but the link budget is not in danger: a remap
+            # costs a guaranteed re-lock outage, the deficit costs
+            # nothing yet.  Keep watching.
+            return None
+        self.log.recovery(t_s, "escalate",
+                          f"deficit={fmt(self._monitor.deficit_db)}")
+        return self._remap(t_s, testbed, injector, system)
+
+    def _remap(self, t_s: float, testbed, injector, system):
+        """Mid-session mapping-only re-training (§4.2)."""
+        samples = []
+        for pose in testbed.training_poses(self.remap_samples):
+            result = testbed.align_exhaustively(pose)
+            report = injector.calibration_report(t_s, testbed.tracker, pose)
+            samples.append(AlignedSample(
+                v_tx1=result.voltages[0], v_tx2=result.voltages[1],
+                v_rx1=result.voltages[2], v_rx2=result.voltages[3],
+                reported_pose=report))
+        refitted = remap(system, samples)
+        self._monitor.reset()
+        self._remaps_done += 1
+        self.remaps += 1
+        self._hold_until = t_s + self.remap_cost_s
+        self._last_good_command = None
+        self.log.recovery(t_s, "remap",
+                          f"samples={len(samples)} "
+                          f"cost={fmt(self.remap_cost_s)}")
+        return refitted
+
+    @property
+    def drift_monitor(self) -> DriftMonitor:
+        """The escalation monitor (tests and metrics)."""
+        return self._monitor

@@ -39,6 +39,19 @@ class TestParser:
         assert args.duration == 5.0
         assert args.output == "/tmp/b.json"
 
+    def test_chaos_defaults(self):
+        args = build_parser().parse_args(["chaos"])
+        assert args.scenarios is None
+        assert args.workers == 1
+        assert args.output == "BENCH_chaos.json"
+
+    def test_chaos_options(self):
+        args = build_parser().parse_args(
+            ["chaos", "--scenarios", "drift-remap,blockage",
+             "--workers", "2", "--output", "/tmp/c.json"])
+        assert args.scenarios == "drift-remap,blockage"
+        assert args.workers == 2
+
 
 class TestCommands:
     def test_table1(self, capsys):
@@ -106,5 +119,10 @@ class TestScenarioCommands:
 
     def test_scenario_unknown_id(self, capsys):
         assert main(["scenario", "fig99"]) == 2
+        out = capsys.readouterr().out
+        assert "available" in out
+
+    def test_chaos_unknown_scenario(self, capsys):
+        assert main(["chaos", "--scenarios", "no-such"]) == 2
         out = capsys.readouterr().out
         assert "available" in out

@@ -55,6 +55,33 @@ class TestDriftMonitor:
         with pytest.raises(ValueError):
             DriftMonitor(window=1)
 
+    def test_recent_dbm_none_until_window_full(self):
+        monitor = DriftMonitor(baseline_samples=3, window=3)
+        for _ in range(3):
+            monitor.observe(-10.0)
+        assert monitor.recent_dbm is None
+        for _ in range(3):
+            monitor.observe(-12.0)
+        assert monitor.recent_dbm == pytest.approx(-12.0)
+
+    def test_deficit_zero_while_learning_then_tracks(self):
+        monitor = DriftMonitor(degradation_db=6.0, baseline_samples=3,
+                               window=3)
+        assert monitor.deficit_db == 0.0
+        for _ in range(3):
+            monitor.observe(-10.0)
+        for _ in range(3):
+            monitor.observe(-14.0)
+        assert monitor.deficit_db == pytest.approx(4.0)
+
+    def test_deficit_clamps_improvement_to_zero(self):
+        monitor = DriftMonitor(baseline_samples=3, window=3)
+        for _ in range(3):
+            monitor.observe(-10.0)
+        for _ in range(3):
+            monitor.observe(-8.0)
+        assert monitor.deficit_db == 0.0
+
 
 class TestRemap:
     @pytest.fixture(scope="class")

@@ -1,0 +1,137 @@
+"""Unit tests for the fault injection wrappers."""
+
+import numpy as np
+import pytest
+
+from repro.core import PointingCommand
+from repro.faults import (
+    AttenuationRamp,
+    ChannelBlockage,
+    CommandJitter,
+    CommandLoss,
+    EventLog,
+    FaultInjector,
+    GalvoSaturation,
+    NullInjector,
+    TrackerDrift,
+    TrackerDropout,
+    TrackerFreeze,
+)
+from repro.link.design import NOISE_FLOOR_DBM
+from repro.simulate import Testbed
+
+
+@pytest.fixture(scope="module")
+def rig():
+    return Testbed(seed=3)
+
+
+def command(v=1.0):
+    return PointingCommand(v_tx1=v, v_tx2=-v, v_rx1=v, v_rx2=-v,
+                           iterations=3)
+
+
+class TestArming:
+    def test_arm_events_logged_at_time_zero(self):
+        injector = FaultInjector([TrackerDropout(), CommandLoss()],
+                                 duration_s=5.0, seed=0)
+        arms = [e for e in injector.log.events
+                if e.kind.startswith("arm-")]
+        assert len(arms) == 2
+        assert all(e.t_s == 0.0 for e in arms)
+
+    def test_unknown_model_rejected(self):
+        with pytest.raises(TypeError):
+            FaultInjector([object()], duration_s=5.0)
+
+    def test_same_seed_same_schedule(self, rig):
+        faults = [TrackerDropout(rate_hz=2.0), ChannelBlockage(rate_hz=1.0)]
+        a = FaultInjector(faults, 20.0, seed=9)
+        b = FaultInjector(faults, 20.0, seed=9)
+        for tl_a, tl_b in zip(a._dropouts + a._blockages,
+                              b._dropouts + b._blockages):
+            assert tl_a.windows == tl_b.windows
+
+
+class TestTrackerSide:
+    def test_dropout_returns_none(self, rig):
+        injector = FaultInjector(
+            [TrackerDropout(rate_hz=500.0, mean_duration_s=10.0)], 1.0)
+        assert injector.tracker_report(0.5, rig.tracker,
+                                       rig.home_pose) is None
+
+    def test_freeze_repeats_last_report(self, rig):
+        injector = FaultInjector([TrackerFreeze(rate_hz=0.0)], 1.0)
+        first = injector.tracker_report(0.1, rig.tracker, rig.home_pose)
+        injector._freezes[0].windows = [(0.15, 0.9)]
+        injector._freezes[0]._logged = [False]
+        frozen = injector.tracker_report(0.2, rig.tracker, rig.home_pose)
+        assert frozen is first
+
+    def test_drift_shifts_report(self):
+        drift = TrackerDrift(onset_s=0.0, rate_m_per_s=1.0, max_m=0.05,
+                             direction=(1.0, 0.0, 0.0))
+        # Twin testbeds so both trackers draw identical noise: the
+        # report difference is then exactly the (saturated) drift.
+        rig_a, rig_b = Testbed(seed=7), Testbed(seed=7)
+        a = FaultInjector([drift], 2.0, seed=4).tracker_report(
+            1.0, rig_a.tracker, rig_a.home_pose)
+        b = FaultInjector([], 2.0, seed=4).tracker_report(
+            1.0, rig_b.tracker, rig_b.home_pose)
+        assert np.linalg.norm(a.position - b.position) == \
+            pytest.approx(0.05, rel=1e-6)
+
+    def test_calibration_report_sees_drift_not_dropouts(self, rig):
+        drift = TrackerDrift(onset_s=0.0, rate_m_per_s=1.0, max_m=0.05)
+        injector = FaultInjector(
+            [TrackerDropout(rate_hz=500.0, mean_duration_s=10.0), drift],
+            1.0)
+        report = injector.calibration_report(0.5, rig.tracker,
+                                             rig.home_pose)
+        assert report is not None
+
+
+class TestActuatorSide:
+    def test_command_loss_returns_none_and_logs(self, rig):
+        injector = FaultInjector([CommandLoss(probability=1.0)], 1.0)
+        assert injector.apply_command(0.1, rig, command()) is None
+        assert any(e.kind == "command-loss" for e in injector.log.events)
+
+    def test_saturation_clamps_voltages(self, rig):
+        injector = FaultInjector([GalvoSaturation(limit_v=0.5)], 1.0)
+        injector.apply_command(0.1, rig, command(v=3.0))
+        assert np.all(np.abs(rig.tx_hardware.voltages) <= 0.5)
+        assert any(e.kind == "saturation" for e in injector.log.events)
+
+    def test_jitter_consumes_rng_deterministically(self):
+        a = FaultInjector([CommandJitter(max_extra_s=0.004)], 1.0, seed=2)
+        b = FaultInjector([CommandJitter(max_extra_s=0.004)], 1.0, seed=2)
+        xs = [a.command_latency_extra_s(0.0) for _ in range(5)]
+        ys = [b.command_latency_extra_s(0.0) for _ in range(5)]
+        assert xs == ys
+        assert all(0.0 <= x <= 0.004 for x in xs)
+
+
+class TestChannelSide:
+    def test_blockage_floors_power(self, rig):
+        injector = FaultInjector(
+            [ChannelBlockage(rate_hz=500.0, mean_duration_s=10.0)], 1.0)
+        sample = injector.channel_sample(0.5, rig.channel, rig.home_pose)
+        assert sample.received_power_dbm == NOISE_FLOOR_DBM
+        assert not sample.connected
+
+    def test_attenuation_subtracts_ramp(self, rig):
+        ramp = AttenuationRamp(start_s=0.0, ramp_db_per_s=1.0, max_db=3.0)
+        faulted = FaultInjector([ramp], 10.0)
+        clean = NullInjector()
+        a = faulted.channel_sample(5.0, rig.channel, rig.home_pose)
+        b = clean.channel_sample(5.0, rig.channel, rig.home_pose)
+        assert a.received_power_dbm == pytest.approx(
+            max(b.received_power_dbm - 3.0, NOISE_FLOOR_DBM))
+
+    def test_null_injector_is_passthrough(self, rig):
+        injector = NullInjector()
+        a = injector.channel_sample(0.0, rig.channel, rig.home_pose)
+        b = rig.channel.evaluate(rig.home_pose)
+        assert a.received_power_dbm == b.received_power_dbm
+        assert injector.log.events == ()

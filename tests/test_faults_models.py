@@ -1,0 +1,75 @@
+"""Unit tests for the seeded fault models."""
+
+import numpy as np
+import pytest
+
+from repro.faults import (
+    AttenuationRamp,
+    GalvoSaturation,
+    StuckMirror,
+    TrackerDrift,
+    poisson_windows,
+)
+
+
+class TestPoissonWindows:
+    def rng(self, seed=0):
+        return np.random.default_rng(seed)
+
+    def test_deterministic_per_seed(self):
+        a = poisson_windows(self.rng(5), 20.0, 0.5, 0.2)
+        b = poisson_windows(self.rng(5), 20.0, 0.5, 0.2)
+        assert a == b
+
+    def test_different_seeds_differ(self):
+        a = poisson_windows(self.rng(1), 20.0, 0.5, 0.2)
+        b = poisson_windows(self.rng(2), 20.0, 0.5, 0.2)
+        assert a != b
+
+    def test_windows_do_not_overlap(self):
+        windows = poisson_windows(self.rng(3), 60.0, 2.0, 0.3)
+        for (_, prev_end), (start, _) in zip(windows, windows[1:]):
+            assert start >= prev_end
+
+    def test_windows_clip_to_duration(self):
+        for seed in range(10):
+            for start, end in poisson_windows(self.rng(seed), 5.0,
+                                              1.0, 1.0):
+                assert 0.0 <= start < end <= 5.0
+
+    def test_zero_rate_yields_nothing(self):
+        assert poisson_windows(self.rng(0), 10.0, 0.0, 0.5) == []
+
+
+class TestDrift:
+    def test_zero_before_onset(self):
+        drift = TrackerDrift(onset_s=2.0, rate_m_per_s=0.01, max_m=0.1)
+        assert np.allclose(drift.offset_at(1.0), 0.0)
+
+    def test_ramps_then_saturates(self):
+        drift = TrackerDrift(onset_s=1.0, rate_m_per_s=0.01, max_m=0.02,
+                             direction=(1.0, 0.0, 0.0))
+        assert np.linalg.norm(drift.offset_at(2.0)) == pytest.approx(0.01)
+        assert np.linalg.norm(drift.offset_at(50.0)) == pytest.approx(0.02)
+
+
+class TestAttenuationRamp:
+    def test_ramp_shape(self):
+        ramp = AttenuationRamp(start_s=1.0, ramp_db_per_s=2.0, max_db=5.0)
+        assert ramp.extra_loss_db(0.5) == 0.0
+        assert ramp.extra_loss_db(2.0) == pytest.approx(2.0)
+        assert ramp.extra_loss_db(100.0) == pytest.approx(5.0)
+
+
+class TestActuatorModels:
+    def test_saturation_clamps_symmetrically(self):
+        sat = GalvoSaturation(limit_v=6.0)
+        assert sat.clamp(7.5) == 6.0
+        assert sat.clamp(-9.0) == -6.0
+        assert sat.clamp(1.25) == 1.25
+
+    def test_stuck_mirror_window(self):
+        stuck = StuckMirror(start_s=3.0, end_s=4.0, side="tx", axis=0)
+        assert not stuck.active_at(2.9)
+        assert stuck.active_at(3.5)
+        assert not stuck.active_at(4.1)

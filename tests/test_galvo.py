@@ -159,6 +159,22 @@ class TestGalvoHardware:
         with pytest.raises(ValueError):
             hw.apply(10.5, 0.0)
 
+    def test_out_of_range_raises_typed_coverage_error(self):
+        from repro.galvo import CoverageError
+        hw = quiet_hardware()
+        with pytest.raises(CoverageError):
+            hw.apply(0.0, -10.5)
+
+    def test_coverage_error_is_a_value_error(self):
+        # Backward compatibility: callers catching ValueError still work.
+        from repro.galvo import CoverageError
+        assert issubclass(CoverageError, ValueError)
+
+    def test_coverage_error_importable_from_core(self):
+        from repro.core import CoverageError as FromCore
+        from repro.galvo import CoverageError as FromGalvo
+        assert FromCore is FromGalvo
+
     def test_settle_time_positive_on_move(self):
         hw = quiet_hardware()
         assert hw.apply(2.0, 0.0) > 0.0
