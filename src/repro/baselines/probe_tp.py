@@ -86,7 +86,7 @@ class ProbeTracker:
         # Power at the current setting, measured "now".
         current_power = self._measure(voltages, profile.pose_at(t))
 
-        def record(time_s, power):
+        def record(time_s: float, power: float) -> None:
             times.append(time_s)
             powers.append(power)
             ups.append(state.observe(time_s, power))

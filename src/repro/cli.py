@@ -12,6 +12,7 @@ can poke the system without writing code::
     python -m repro formats           # the VR-format bandwidth ladder
     python -m repro bench             # time the trace pipeline
     python -m repro chaos             # fault-injection robustness sweep
+    python -m repro lint              # determinism/units static analysis
 """
 
 from __future__ import annotations
@@ -250,6 +251,12 @@ def _cmd_chaos(args):
     return 0
 
 
+def _cmd_lint(args):
+    """Run the repro.devtools static-analysis engine."""
+    from .devtools.cli import run_lint
+    return run_lint(args)
+
+
 def _cmd_scenarios(args):
     from .reporting import TextTable
     from .simulate import list_scenarios
@@ -332,6 +339,12 @@ def build_parser() -> argparse.ArgumentParser:
     chaos.add_argument("--workers", type=int, default=1)
     chaos.add_argument("--output", default="BENCH_chaos.json")
     chaos.set_defaults(func=_cmd_chaos)
+
+    lint = sub.add_parser(
+        "lint", help="determinism/units static analysis (repro.devtools)")
+    from .devtools.cli import add_lint_arguments
+    add_lint_arguments(lint)
+    lint.set_defaults(func=_cmd_lint)
 
     sub.add_parser("scenarios", help="list the experiment registry"
                    ).set_defaults(func=_cmd_scenarios)

@@ -17,7 +17,7 @@ accordingly.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Sequence
+from typing import Callable, List, Sequence, Tuple
 
 #: Coarse-to-fine step schedule, in volts (final steps near DAQ LSB).
 DEFAULT_STEP_SCHEDULE_V = (0.2, 0.05, 0.012, 0.003, 0.0008, 0.0003)
@@ -27,7 +27,7 @@ DEFAULT_STEP_SCHEDULE_V = (0.2, 0.05, 0.012, 0.003, 0.0008, 0.0003)
 class AlignmentResult:
     """Outcome of one exhaustive search."""
 
-    voltages: tuple
+    voltages: Tuple[float, ...]
     power_dbm: float
     evaluations: int
 
@@ -47,7 +47,7 @@ def search(power_fn: Callable[[float, float, float, float], float],
         raise ValueError("the search runs over exactly four voltages")
     evaluations = 0
 
-    def measure(vs):
+    def measure(vs: List[float]) -> float:
         nonlocal evaluations
         evaluations += 1
         return power_fn(*vs)

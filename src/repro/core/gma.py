@@ -16,8 +16,10 @@ itself lives in :func:`repro.galvo.mirror.trace`; this module adds:
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Tuple
 
 import numpy as np
+import numpy.typing as npt
 
 from ..galvo import GmaParams, mirror_planes, trace
 from ..geometry import Plane, Ray, RigidTransform
@@ -59,7 +61,8 @@ def _rotate_about(axis: np.ndarray, angles: np.ndarray,
 
 
 def _reflect_batch(origins: np.ndarray, directions: np.ndarray,
-                   normals: np.ndarray, pivot: np.ndarray) -> tuple:
+                   normals: np.ndarray, pivot: np.ndarray
+                   ) -> Tuple[np.ndarray, np.ndarray]:
     """Reflect n beams off n mirror planes sharing one pivot point.
 
     Returns ``(strike_points, reflected_directions)``, each (n, 3).
@@ -77,8 +80,8 @@ def _reflect_batch(origins: np.ndarray, directions: np.ndarray,
     return strikes, reflected
 
 
-def trace_batch(vector: np.ndarray, v1: np.ndarray,
-                v2: np.ndarray) -> tuple:
+def trace_batch(vector: npt.ArrayLike, v1: npt.ArrayLike,
+                v2: npt.ArrayLike) -> Tuple[np.ndarray, np.ndarray]:
     """Vectorized ``G`` over many voltage pairs.
 
     ``vector`` is the 25-parameter encoding of
@@ -96,8 +99,8 @@ def trace_batch(vector: np.ndarray, v1: np.ndarray,
     n2, q2, r2 = vec[15:18], vec[18:21], vec[21:24]
     theta1 = vec[24]
 
-    def unit(v):
-        return v / np.linalg.norm(v)
+    def unit(vector: np.ndarray) -> np.ndarray:
+        return vector / np.linalg.norm(vector)
 
     x0 = unit(x0)
     normals1 = _rotate_about(unit(r1), theta1 * v1, unit(n1))
@@ -109,8 +112,8 @@ def trace_batch(vector: np.ndarray, v1: np.ndarray,
     return _reflect_batch(mid_points, mid_dirs, normals2, q2)
 
 
-def board_hits(vector: np.ndarray, v1: np.ndarray, v2: np.ndarray,
-               board: Plane) -> np.ndarray:
+def board_hits(vector: npt.ArrayLike, v1: npt.ArrayLike,
+               v2: npt.ArrayLike, board: Plane) -> np.ndarray:
     """Where the modelled beams land on the calibration board.
 
     Returns (n, 3) world points; beams that never reach the board

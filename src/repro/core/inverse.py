@@ -13,6 +13,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 import numpy as np
+import numpy.typing as npt
 
 from ..geometry import NoIntersectionError, Plane, Ray
 from .gma import GmaModel
@@ -43,7 +44,8 @@ def _intersection(beam: Ray, plane: Plane) -> np.ndarray:
     return plane.intersect_ray(beam, forward_only=False)
 
 
-def solve(model: GmaModel, target, v1: float = 0.0, v2: float = 0.0,
+def solve(model: GmaModel, target: npt.ArrayLike,
+          v1: float = 0.0, v2: float = 0.0,
           voltage_step_v: float = DEFAULT_VOLTAGE_STEP_V,
           max_iterations: int = 25) -> InverseResult:
     """Find voltages whose modelled beam passes through ``target``.

@@ -18,9 +18,10 @@ like the paper we only ever evaluate ``G`` by where its beams go.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List
+from typing import List, Tuple
 
 import numpy as np
+import numpy.typing as npt
 from scipy.optimize import least_squares
 
 from .. import constants
@@ -80,11 +81,11 @@ class BoardRig:
     eye_noise_m: float = EYE_NOISE_M
     warp_bias_m: float = WARP_BIAS_M
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         # Random but fixed warp phases: the board's particular bend.
         self._warp_phase = self.rng.uniform(0.0, 2.0 * np.pi, size=2)
 
-    def warp_bias(self, point_xy) -> np.ndarray:
+    def warp_bias(self, point_xy: npt.ArrayLike) -> np.ndarray:
         """Systematic apparent-position bias from board non-flatness.
 
         Smooth over the board at roughly the panel's warp wavelength;
@@ -107,8 +108,9 @@ class BoardRig:
         hit = self.beam_board_hit()[:2]
         return hit + self.warp_bias(hit)
 
-    def voltages_hitting(self, target_xy, tolerance_m: float = 60e-6,
-                         max_iterations: int = 50) -> tuple:
+    def voltages_hitting(self, target_xy: npt.ArrayLike,
+                         tolerance_m: float = 60e-6,
+                         max_iterations: int = 50) -> Tuple[float, float]:
         """Find voltages parking the *observed* spot on a board point.
 
         Newton iteration with finite differences against the real
@@ -210,7 +212,7 @@ def fit_gma(samples: List[BoardSample], initial_guess: GmaParams,
     initial = initial_guess.to_vector()
     sigmas = _prior_sigmas(initial)
 
-    def residuals(vector):
+    def residuals(vector: np.ndarray) -> np.ndarray:
         hits = board_hits(vector, v1, v2, board)[:, :2]
         res = (hits - targets).ravel()
         # Beams that miss the board entirely are maximally wrong.

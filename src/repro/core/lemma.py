@@ -10,7 +10,7 @@ physics and are used by both tests and the ablation benches.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Sequence
+from typing import Callable, List, Sequence
 
 import numpy as np
 
@@ -25,7 +25,7 @@ class LemmaCheck:
 
 def sweep(power_fn: Callable[..., float],
           coincidence_fn: Callable[..., float],
-          voltage_sets: Sequence[Sequence[float]]) -> list:
+          voltage_sets: Sequence[Sequence[float]]) -> List[LemmaCheck]:
     """Evaluate power and coincidence error over voltage settings.
 
     ``power_fn`` and ``coincidence_fn`` both take the four voltages.

@@ -17,6 +17,7 @@ from dataclasses import dataclass
 from typing import List
 
 import numpy as np
+import numpy.typing as npt
 from scipy.optimize import least_squares
 
 from ..geometry import NoIntersectionError
@@ -71,7 +72,7 @@ def coincidence_error_m(system: LearnedSystem,
 
 def fit_mapping(tx_kspace: GmaModel, rx_kspace: GmaModel,
                 samples: List[AlignedSample],
-                initial_mapping_params) -> LearnedSystem:
+                initial_mapping_params: npt.ArrayLike) -> LearnedSystem:
     """Estimate the 12 mapping parameters by least squares.
 
     ``initial_mapping_params`` plays the role of the deployer's rough
@@ -85,7 +86,7 @@ def fit_mapping(tx_kspace: GmaModel, rx_kspace: GmaModel,
     if initial.shape != (12,):
         raise ValueError("expected 12 initial mapping parameters")
 
-    def residuals(params):
+    def residuals(params: np.ndarray) -> np.ndarray:
         system = LearnedSystem.from_mapping_params(
             tx_kspace, rx_kspace, params)
         return np.concatenate([

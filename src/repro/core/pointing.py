@@ -19,6 +19,7 @@ millimeter per iteration.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Sequence, Tuple
 
 from ..vrh import Pose
 from . import inverse
@@ -43,17 +44,17 @@ class PointingCommand:
     iterations: int
 
     @property
-    def tx_voltages(self) -> tuple:
+    def tx_voltages(self) -> Tuple[float, float]:
         return self.v_tx1, self.v_tx2
 
     @property
-    def rx_voltages(self) -> tuple:
+    def rx_voltages(self) -> Tuple[float, float]:
         return self.v_rx1, self.v_rx2
 
 
 def cold_start_seed(system: LearnedSystem, reported_pose: Pose,
                     voltage_step_v: float = inverse.DEFAULT_VOLTAGE_STEP_V
-                    ) -> tuple:
+                    ) -> Tuple[float, float, float, float]:
     """A pose-derived initial guess for ``point`` with no prior command.
 
     Seeding the fixed-point iteration with all-zero voltages assumes
@@ -79,7 +80,7 @@ def cold_start_seed(system: LearnedSystem, reported_pose: Pose,
 
 
 def point(system: LearnedSystem, reported_pose: Pose,
-          initial=(0.0, 0.0, 0.0, 0.0),
+          initial: Sequence[float] = (0.0, 0.0, 0.0, 0.0),
           voltage_step_v: float = inverse.DEFAULT_VOLTAGE_STEP_V,
           max_iterations: int = MAX_POINTING_ITERATIONS) -> PointingCommand:
     """Compute the realignment voltages for one tracking report.

@@ -40,7 +40,7 @@ class DriftMonitor:
     window: int = 25
     baseline_samples: int = 25
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         if self.degradation_db <= 0:
             raise ValueError("degradation threshold must be positive")
         if self.window < 3 or self.baseline_samples < 3:

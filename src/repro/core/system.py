@@ -16,6 +16,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 import numpy as np
+import numpy.typing as npt
 
 from ..galvo import GmaParams
 from ..geometry import RigidTransform
@@ -33,7 +34,8 @@ class LearnedSystem:
 
     @classmethod
     def from_mapping_params(cls, tx_kspace: GmaModel, rx_kspace: GmaModel,
-                            mapping_params) -> "LearnedSystem":
+                            mapping_params: npt.ArrayLike
+                            ) -> "LearnedSystem":
         """Assemble from the 12 mapping parameters of Section 4.2.
 
         The first six place TX's K-space in VR-space; the last six

@@ -1,0 +1,39 @@
+"""repro.devtools: the repo's own static-analysis layer.
+
+PRs 1-2 made byte-identical-per-seed output the repo's headline
+contract; this package *enforces* it (and the unit discipline the link
+budget depends on) at lint time instead of hoping runtime tests trip
+over violations.  It is a small AST lint engine with repo-specific
+rules in three families:
+
+* **determinism** (``D``): no unseeded generators, no wall-clock or
+  global RNG state inside ``src/repro``, RNGs threaded as parameters;
+* **units & numerics** (``U``/``N``): unit-suffixed parameters
+  (``_dbm``, ``_mrad``, ...) must be annotated and never cross-assigned
+  to a different unit, no silent ``float(array)`` truncation, no
+  mutable default arguments;
+* **API hygiene** (``A``): the core physics packages stay fully
+  annotated so ``mypy`` has something to check.
+
+Run it as ``python -m repro lint``; suppress a single finding with a
+``# repro: noqa[RULE]`` comment on the offending line (bare
+``# repro: noqa`` suppresses every rule on the line).  The rule
+catalog lives in DESIGN.md.
+"""
+
+from .engine import LintResult, lint_paths
+from .findings import Finding
+from .registry import Rule, all_rules, get_rule, resolve_selection
+from .reporters import render_json, render_text
+
+__all__ = [
+    "Finding",
+    "LintResult",
+    "Rule",
+    "all_rules",
+    "get_rule",
+    "lint_paths",
+    "render_json",
+    "render_text",
+    "resolve_selection",
+]

@@ -1,0 +1,76 @@
+"""The ``python -m repro lint`` front end.
+
+Exit codes follow compiler conventions: 0 clean, 1 findings, 2 usage
+error (unknown rule, missing path).  ``--warn-only`` reports findings
+but exits 0 -- the mode used to survey ``benchmarks/`` and
+``examples/`` without gating on them.
+"""
+
+from __future__ import annotations
+
+import argparse
+from pathlib import Path
+from typing import List, Optional
+
+from .engine import lint_paths
+from .registry import all_rules
+from .reporters import render_json, render_text
+
+
+def default_lint_target() -> str:
+    """The installed ``repro`` package directory.
+
+    Makes ``python -m repro lint`` work from any CWD: the contract is
+    "the package is clean", not "whatever happens to be here is clean".
+    """
+    return str(Path(__file__).resolve().parent.parent)
+
+
+def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
+    """Attach the lint options to a (sub)parser."""
+    parser.add_argument(
+        "paths", nargs="*", default=None,
+        help="files/directories to lint (default: the repro package)")
+    parser.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="output format (default text)")
+    parser.add_argument(
+        "--select", default=None, metavar="RULES",
+        help="comma-separated rule ids/prefixes to run (e.g. D,U001)")
+    parser.add_argument(
+        "--ignore", default=None, metavar="RULES",
+        help="comma-separated rule ids/prefixes to skip")
+    parser.add_argument(
+        "--warn-only", action="store_true",
+        help="report findings but exit 0 (survey mode)")
+    parser.add_argument(
+        "--list-rules", action="store_true",
+        help="print the rule catalog and exit")
+
+
+def _split(option: Optional[str]) -> Optional[List[str]]:
+    if option is None:
+        return None
+    return [entry for entry in option.split(",") if entry.strip()]
+
+
+def run_lint(args: argparse.Namespace) -> int:
+    """Execute the lint command; returns the process exit code."""
+    if args.list_rules:
+        for rule in all_rules():
+            print(f"{rule.rule_id}  {rule.summary}")
+        return 0
+    paths = args.paths or [default_lint_target()]
+    try:
+        result = lint_paths(paths, select=_split(args.select),
+                            ignore=_split(args.ignore))
+    except (ValueError, FileNotFoundError) as exc:
+        print(f"lint: {exc}")
+        return 2
+    if args.format == "json":
+        print(render_json(result))
+    else:
+        print(render_text(result))
+    if result.findings and not args.warn_only:
+        return 1
+    return 0

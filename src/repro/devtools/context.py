@@ -1,0 +1,91 @@
+"""Per-file lint context: parsed source, noqa map, and path scoping.
+
+Rules never touch the filesystem; the engine parses each file once and
+hands every rule the same :class:`FileContext`.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+from pathlib import PurePosixPath
+from typing import Dict, FrozenSet, Optional, Tuple
+
+#: ``# repro: noqa`` or ``# repro: noqa[D001]`` / ``noqa[D001, U002]``.
+_NOQA_RE = re.compile(
+    r"#\s*repro:\s*noqa(?:\[(?P<rules>[A-Z0-9,\s]+)\])?", re.IGNORECASE)
+
+
+def parse_noqa(source: str) -> Dict[int, FrozenSet[str]]:
+    """Map 1-based line numbers to the rule ids suppressed there.
+
+    An empty frozenset means a bare ``# repro: noqa``: every rule on
+    that line is suppressed.
+    """
+    suppressions: Dict[int, FrozenSet[str]] = {}
+    for lineno, line in enumerate(source.splitlines(), start=1):
+        match = _NOQA_RE.search(line)
+        if match is None:
+            continue
+        rules = match.group("rules")
+        if rules is None:
+            suppressions[lineno] = frozenset()
+        else:
+            suppressions[lineno] = frozenset(
+                r.strip().upper() for r in rules.split(",") if r.strip())
+    return suppressions
+
+
+def package_parts(path: str) -> Tuple[str, ...]:
+    """Path components used for rule scoping, rooted at ``repro``.
+
+    ``src/repro/core/gma.py`` -> ``("repro", "core", "gma.py")``; a file
+    outside the package (benchmarks, examples, fixtures) keeps its own
+    components so rules can still scope on directory names.  Fixture
+    trees that embed a ``repro/...`` directory scope exactly like the
+    real package, which is what the rule tests rely on.
+    """
+    parts = PurePosixPath(path.replace("\\", "/")).parts
+    for index in range(len(parts) - 1, -1, -1):
+        if parts[index] == "repro":
+            return parts[index:]
+    return parts
+
+
+@dataclass(frozen=True)
+class FileContext:
+    """Everything the rules may know about one file."""
+
+    path: str
+    source: str
+    tree: ast.AST
+    suppressions: Dict[int, FrozenSet[str]] = field(default_factory=dict)
+
+    @classmethod
+    def from_source(cls, path: str, source: str) -> "FileContext":
+        """Parse ``source``; raises ``SyntaxError`` on a broken file."""
+        tree = ast.parse(source, filename=path)
+        return cls(path=path, source=source, tree=tree,
+                   suppressions=parse_noqa(source))
+
+    @property
+    def parts(self) -> Tuple[str, ...]:
+        return package_parts(self.path)
+
+    def in_package(self, *packages: str) -> bool:
+        """True when the file sits under ``repro/<pkg>`` for any given
+        package (or directly under ``repro`` when called with no args)."""
+        parts = self.parts
+        if not parts or parts[0] != "repro":
+            return False
+        if not packages:
+            return True
+        return len(parts) >= 2 and parts[1] in packages
+
+    def is_suppressed(self, line: int, rule_id: str) -> bool:
+        """Whether a ``# repro: noqa`` comment covers this finding."""
+        rules: Optional[FrozenSet[str]] = self.suppressions.get(line)
+        if rules is None:
+            return False
+        return not rules or rule_id.upper() in rules

@@ -1,0 +1,96 @@
+"""The lint engine: walk files, run rules, collect findings."""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, List, Optional, Sequence
+
+from .context import FileContext
+from .findings import Finding
+from .registry import Rule, resolve_selection
+
+#: Directories never descended into.
+_SKIP_DIRS = frozenset({
+    "__pycache__", ".git", ".mypy_cache", ".ruff_cache",
+    ".pytest_cache", ".hypothesis", "node_modules",
+})
+
+
+@dataclass
+class LintResult:
+    """Findings plus bookkeeping from one engine run."""
+
+    findings: List[Finding] = field(default_factory=list)
+    files_checked: int = 0
+    suppressed: int = 0
+
+    @property
+    def clean(self) -> bool:
+        return not self.findings
+
+
+def iter_python_files(paths: Sequence[str]) -> Iterable[str]:
+    """Expand files/directories into a sorted list of ``.py`` files.
+
+    Raises ``FileNotFoundError`` for a path that does not exist --
+    linting nothing because of a typo must not report success.
+    """
+    collected = []
+    for raw in paths:
+        path = Path(raw)
+        if not path.exists():
+            raise FileNotFoundError(f"no such file or directory: {raw}")
+        if path.is_file():
+            collected.append(str(path))
+            continue
+        for dirpath, dirnames, filenames in os.walk(path):
+            dirnames[:] = sorted(d for d in dirnames
+                                 if d not in _SKIP_DIRS)
+            for filename in sorted(filenames):
+                if filename.endswith(".py"):
+                    collected.append(os.path.join(dirpath, filename))
+    return sorted(collected)
+
+
+def lint_source(path: str, source: str,
+                rules: Sequence[Rule]) -> LintResult:
+    """Lint one in-memory file (the unit the fixture tests drive)."""
+    result = LintResult(files_checked=1)
+    try:
+        ctx = FileContext.from_source(path, source)
+    except SyntaxError as exc:
+        line = exc.lineno or 1
+        column = (exc.offset or 1) - 1
+        result.findings.append(Finding(
+            path=path, line=line, column=column + 1, rule_id="E999",
+            message=f"syntax error: {exc.msg}"))
+        return result
+    for rule in rules:
+        if not rule.applies_to(ctx):
+            continue
+        for finding in rule.check(ctx):
+            if ctx.is_suppressed(finding.line, finding.rule_id):
+                result.suppressed += 1
+            else:
+                result.findings.append(finding)
+    result.findings.sort(key=Finding.sort_key)
+    return result
+
+
+def lint_paths(paths: Sequence[str],
+               select: Optional[Sequence[str]] = None,
+               ignore: Optional[Sequence[str]] = None) -> LintResult:
+    """Lint files and directories; the package's main entry point."""
+    rules = resolve_selection(select=select, ignore=ignore)
+    total = LintResult()
+    for filename in iter_python_files(paths):
+        with open(filename, "r", encoding="utf-8") as handle:
+            source = handle.read()
+        result = lint_source(filename, source, rules)
+        total.findings.extend(result.findings)
+        total.files_checked += 1
+        total.suppressed += result.suppressed
+    total.findings.sort(key=Finding.sort_key)
+    return total

@@ -1,0 +1,98 @@
+"""Rule base class, registry, and --select/--ignore resolution."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Optional, Type
+
+from .context import FileContext
+from .findings import Finding
+
+_REGISTRY: Dict[str, "Rule"] = {}
+
+
+class Rule:
+    """One lint rule: an id, a rationale, and a ``check`` pass.
+
+    Subclasses set ``rule_id`` and ``summary`` and implement
+    :meth:`check`; :meth:`applies_to` scopes the rule to parts of the
+    tree (determinism rules bind ``src/repro`` tighter than benchmark
+    scripts, for example).
+    """
+
+    rule_id: str = ""
+    summary: str = ""
+
+    def applies_to(self, ctx: FileContext) -> bool:
+        return True
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        raise NotImplementedError
+
+    def finding(self, ctx: FileContext, line: int, column: int,
+                message: str) -> Finding:
+        """Build a finding for this rule (column converted to 1-based)."""
+        return Finding(path=ctx.path, line=line, column=column + 1,
+                       rule_id=self.rule_id, message=message)
+
+
+def register(rule_class: Type[Rule]) -> Type[Rule]:
+    """Class decorator adding a rule to the global registry."""
+    rule = rule_class()
+    if not rule.rule_id:
+        raise ValueError(f"{rule_class.__name__} has no rule_id")
+    if rule.rule_id in _REGISTRY:
+        raise ValueError(f"duplicate rule id {rule.rule_id}")
+    _REGISTRY[rule.rule_id] = rule
+    return rule_class
+
+
+def _load_rules() -> None:
+    # Importing the rule modules populates the registry; deferred so
+    # the registry module itself stays import-cycle free.
+    from . import rules_api, rules_determinism, rules_units  # noqa: F401
+
+
+def all_rules() -> List[Rule]:
+    """Every registered rule, ordered by id."""
+    _load_rules()
+    return [_REGISTRY[rule_id] for rule_id in sorted(_REGISTRY)]
+
+
+def get_rule(rule_id: str) -> Rule:
+    """Look one rule up by exact id (raises ``KeyError`` if unknown)."""
+    _load_rules()
+    return _REGISTRY[rule_id.upper()]
+
+
+def resolve_selection(select: Optional[Iterable[str]] = None,
+                      ignore: Optional[Iterable[str]] = None) -> List[Rule]:
+    """Apply flake8-style ``--select`` / ``--ignore`` prefix lists.
+
+    Entries match by prefix, so ``D`` selects every determinism rule
+    and ``D001`` exactly one.  Unknown entries (matching no registered
+    rule) raise ``ValueError`` so typos fail loudly instead of
+    silently linting nothing.
+    """
+    rules = all_rules()
+
+    def expand(entries: Iterable[str]) -> List[str]:
+        prefixes = []
+        for entry in entries:
+            prefix = entry.strip().upper()
+            if not prefix:
+                continue
+            if not any(r.rule_id.startswith(prefix) for r in rules):
+                raise ValueError(f"unknown rule or prefix: {prefix}")
+            prefixes.append(prefix)
+        return prefixes
+
+    selected = rules
+    if select is not None:
+        prefixes = expand(select)
+        selected = [r for r in rules
+                    if any(r.rule_id.startswith(p) for p in prefixes)]
+    if ignore is not None:
+        prefixes = expand(ignore)
+        selected = [r for r in selected
+                    if not any(r.rule_id.startswith(p) for p in prefixes)]
+    return selected

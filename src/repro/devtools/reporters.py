@@ -1,0 +1,45 @@
+"""Text and JSON reporters for lint results."""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from typing import Any, Dict
+
+from .engine import LintResult
+
+#: Schema version of the JSON payload; bump on breaking changes.
+JSON_SCHEMA_VERSION = 1
+
+
+def render_text(result: LintResult) -> str:
+    """Compiler-style ``path:line:col RULE message`` lines + summary."""
+    lines = [finding.render() for finding in result.findings]
+    counts = Counter(f.rule_id for f in result.findings)
+    if result.findings:
+        by_rule = ", ".join(f"{rule} x{count}"
+                            for rule, count in sorted(counts.items()))
+        lines.append(f"{len(result.findings)} finding"
+                     f"{'s' if len(result.findings) != 1 else ''} "
+                     f"({by_rule}) in {result.files_checked} files")
+    else:
+        lines.append(f"clean: {result.files_checked} files, "
+                     f"{result.suppressed} suppressed")
+    return "\n".join(lines)
+
+
+def to_payload(result: LintResult) -> Dict[str, Any]:
+    """The JSON-serializable form of a lint run."""
+    counts = Counter(f.rule_id for f in result.findings)
+    return {
+        "version": JSON_SCHEMA_VERSION,
+        "files_checked": result.files_checked,
+        "suppressed": result.suppressed,
+        "counts": dict(sorted(counts.items())),
+        "findings": [f.to_dict() for f in result.findings],
+    }
+
+
+def render_json(result: LintResult) -> str:
+    """Deterministically ordered JSON (sorted findings, sorted keys)."""
+    return json.dumps(to_payload(result), indent=2, sort_keys=True)

@@ -1,0 +1,76 @@
+"""API-hygiene rules (A family).
+
+The core physics packages (``core``, ``optics``, ``link``) are the
+part of the tree mypy runs strict on; A001 keeps their public surface
+fully annotated so the strict run stays meaningful (an unannotated
+``def`` is a hole mypy silently skips in permissive mode).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List, Tuple
+
+from .context import FileContext
+from .findings import Finding
+from .registry import Rule, register
+from .visitors import FunctionNode, FunctionStackVisitor, parameter_nodes
+
+#: Methods that never need a return annotation to be useful -- none;
+#: even ``__post_init__`` gets ``-> None`` so mypy checks its body.
+_EXEMPT_PARAMS = frozenset({"self", "cls"})
+
+
+@register
+class FullAnnotationRule(Rule):
+    """A001: public functions in core/optics/link are fully annotated."""
+
+    rule_id = "A001"
+    summary = ("every public function in repro/core, repro/optics and "
+               "repro/link annotates all parameters and the return "
+               "type")
+
+    def applies_to(self, ctx: FileContext) -> bool:
+        return ctx.in_package("core", "optics", "link")
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        findings: List[Tuple[int, int, str]] = []
+
+        class Visitor(FunctionStackVisitor):
+            def handle_function(self, node: FunctionNode) -> None:
+                if self.current_function is not None:
+                    return  # nested helpers are implementation detail
+                if node.name.startswith("_") and \
+                        not node.name.startswith("__"):
+                    return  # private helpers are mypy's job, not A001's
+                if self.class_stack and \
+                        self.class_stack[-1].name.startswith("_"):
+                    return
+                findings.extend(_signature_gaps(node))
+
+        Visitor().visit(ctx.tree)
+        for line, column, message in findings:
+            yield self.finding(ctx, line, column, message)
+
+
+def _signature_gaps(node: FunctionNode) -> List[Tuple[int, int, str]]:
+    gaps = []
+    for arg in parameter_nodes(node):
+        if arg.arg in _EXEMPT_PARAMS:
+            continue
+        if arg.annotation is None:
+            gaps.append((
+                arg.lineno, arg.col_offset,
+                f"parameter {arg.arg} of public {node.name}() lacks a "
+                "type annotation"))
+    for vararg in (node.args.vararg, node.args.kwarg):
+        if vararg is not None and vararg.annotation is None:
+            gaps.append((
+                vararg.lineno, vararg.col_offset,
+                f"parameter *{vararg.arg} of public {node.name}() lacks "
+                "a type annotation"))
+    if node.returns is None:
+        gaps.append((
+            node.lineno, node.col_offset,
+            f"public {node.name}() lacks a return annotation"))
+    return gaps

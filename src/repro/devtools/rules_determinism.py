@@ -1,0 +1,197 @@
+"""Determinism rules (D family).
+
+Byte-identical-per-seed output is the repo's headline contract (the
+trace pipeline, the fault sweeps, and every BENCH artifact depend on
+it).  These rules make the contract checkable: randomness must enter
+through an explicit seed or ``numpy.random.Generator`` threaded from
+the caller, never minted ad hoc from OS entropy, wall-clock time, or
+NumPy's hidden global state.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List, Tuple
+
+from .context import FileContext
+from .findings import Finding
+from .registry import Rule, register
+from .visitors import (
+    FunctionNode,
+    FunctionStackVisitor,
+    dotted_name,
+    is_unseeded_rng_call,
+    literal_seed,
+    parameter_nodes,
+    rng_factory_name,
+)
+
+#: Dotted calls that read the wall clock (D002).  ``time.perf_counter``
+#: and ``time.monotonic`` are *not* listed: timing how long work took
+#: is fine, deriving simulation inputs from the current date is not.
+_WALL_CLOCK_CALLS = frozenset({
+    "time.time",
+    "time.time_ns",
+    "datetime.now",
+    "datetime.utcnow",
+    "datetime.today",
+    "datetime.datetime.now",
+    "datetime.datetime.utcnow",
+    "datetime.date.today",
+    "date.today",
+})
+
+#: ``np.random.<attr>`` accesses that touch the legacy global state
+#: (D003).  Seeding it, restoring it, or drawing from it are all
+#: equally poisonous to reproducibility under concurrency.
+_GLOBAL_STATE_ATTRS = frozenset({
+    "seed", "set_state", "get_state",
+    "rand", "randn", "randint", "random", "random_sample", "ranf",
+    "sample", "uniform", "normal", "standard_normal", "choice",
+    "shuffle", "permutation", "bytes", "exponential", "poisson",
+})
+
+
+@register
+class UnseededGeneratorRule(Rule):
+    """D001: every RNG must be constructed from an explicit seed."""
+
+    rule_id = "D001"
+    summary = ("no unseeded default_rng()/RandomState(); pass a seed or "
+               "thread a Generator (opt out per line with "
+               "# repro: noqa[D001] plus a rationale)")
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Call) and is_unseeded_rng_call(node):
+                yield self.finding(
+                    ctx, node.lineno, node.col_offset,
+                    f"{rng_factory_name(node)} called without a seed; "
+                    "results become irreproducible")
+
+
+@register
+class WallClockRule(Rule):
+    """D002: no wall-clock or stdlib-``random`` inputs in ``src/repro``.
+
+    Scoped to the package: a benchmark script timestamping its output
+    file is fine, library code deriving behavior from the clock is not.
+    ``time.perf_counter``/``monotonic`` stay allowed -- measuring how
+    long work took does not alter what the work computes.
+    """
+
+    rule_id = "D002"
+    summary = ("no random-module or wall-clock (time.time / "
+               "datetime.now) use inside src/repro")
+
+    def applies_to(self, ctx: FileContext) -> bool:
+        return ctx.in_package()
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.name == "random" or \
+                            alias.name.startswith("random."):
+                        yield self.finding(
+                            ctx, node.lineno, node.col_offset,
+                            "the stdlib random module draws from hidden "
+                            "global state; use numpy.random.Generator")
+            elif isinstance(node, ast.ImportFrom):
+                if node.module == "random":
+                    yield self.finding(
+                        ctx, node.lineno, node.col_offset,
+                        "the stdlib random module draws from hidden "
+                        "global state; use numpy.random.Generator")
+                elif node.module == "time":
+                    bad = [a.name for a in node.names
+                           if a.name in ("time", "time_ns")]
+                    for name in bad:
+                        yield self.finding(
+                            ctx, node.lineno, node.col_offset,
+                            f"time.{name} reads the wall clock; thread "
+                            "timestamps in as parameters")
+            elif isinstance(node, ast.Call):
+                name = dotted_name(node.func)
+                if name in _WALL_CLOCK_CALLS:
+                    yield self.finding(
+                        ctx, node.lineno, node.col_offset,
+                        f"{name}() reads the wall clock; simulation "
+                        "inputs must be explicit parameters")
+
+
+@register
+class GlobalSeedRule(Rule):
+    """D003: never touch ``np.random``'s global state."""
+
+    rule_id = "D003"
+    summary = ("no np.random.seed / legacy global-state sampling; "
+               "construct a Generator instead")
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Attribute):
+                continue
+            name = dotted_name(node)
+            if name is None:
+                continue
+            parts = name.split(".")
+            if (len(parts) == 3 and parts[0] in ("np", "numpy")
+                    and parts[1] == "random"
+                    and parts[2] in _GLOBAL_STATE_ATTRS):
+                yield self.finding(
+                    ctx, node.lineno, node.col_offset,
+                    f"{name} mutates/reads NumPy's global RNG state; "
+                    "use an explicit np.random.Generator")
+
+
+@register
+class ThreadedRngRule(Rule):
+    """D004: thread RNGs as parameters; no mid-function literal seeds.
+
+    A function that mints its own generator from a hard-coded seed
+    returns identical "random" draws on every call and hides the
+    determinism contract from its caller.  Spawning a child generator
+    from a threaded one (``default_rng(rng.integers(2**63))``) is the
+    sanctioned pattern and is not flagged.
+    """
+
+    rule_id = "D004"
+    summary = ("inside src/repro functions, no default_rng(<literal>); "
+               "accept an rng/seed parameter instead")
+
+    def applies_to(self, ctx: FileContext) -> bool:
+        return ctx.in_package()
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        findings: List[Tuple[int, int, str]] = []
+        rule = self
+
+        class Visitor(FunctionStackVisitor):
+            def visit_Call(self, node: ast.Call) -> None:
+                enclosing = self.current_function
+                if enclosing is not None and \
+                        literal_seed(node) is not None and \
+                        not _is_seed_plumbing(enclosing):
+                    findings.append((
+                        node.lineno, node.col_offset,
+                        f"{rng_factory_name(node)} seeded with a literal "
+                        f"inside {enclosing.name}(); thread an rng or "
+                        "seed parameter through instead"))
+                self.generic_visit(node)
+
+        Visitor().visit(ctx.tree)
+        for line, column, message in findings:
+            yield rule.finding(ctx, line, column, message)
+
+
+def _is_seed_plumbing(node: FunctionNode) -> bool:
+    """Functions whose declared job is turning a seed into an rng.
+
+    A function that *accepts* a ``seed`` parameter (CLI entry points,
+    dataclass ``__post_init__`` resolving a stored seed) may build a
+    generator from whatever literal default that parameter carries.
+    """
+    names = {a.arg for a in parameter_nodes(node)}
+    return bool(names & {"seed", "fault_seed", "rng"}) or \
+        node.name == "__post_init__"

@@ -1,0 +1,205 @@
+"""Units & numerics rules (U/N families).
+
+The link budget mixes absolute power (dBm), relative power (dB),
+linear power (mW), lengths, angles, voltages, times, and rates.  The
+repo's convention is to carry the unit in the name (``power_dbm``,
+``range_m``); these rules make the convention load-bearing: suffixed
+parameters must be annotated, and a value named in one unit must not
+be passed into a parameter named in another.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Optional, Set, Tuple
+
+from .context import FileContext
+from .findings import Finding
+from .registry import Rule, register
+from .visitors import (
+    FunctionStackVisitor,
+    annotation_text,
+    parameter_nodes,
+    unit_suffix,
+)
+
+#: Annotations that cannot possibly describe a numeric quantity.
+_NON_NUMERIC = frozenset({"str", "bool", "bytes", "dict", "Dict"})
+
+#: Annotation fragments identifying an array-typed parameter (U002).
+_ARRAY_MARKERS = ("ndarray", "NDArray", "ArrayLike", "Array")
+
+#: Call-expression defaults that construct a fresh mutable object per
+#: *definition* (not per call) -- the classic shared-state bug (N001).
+_MUTABLE_FACTORIES = frozenset({
+    "list", "dict", "set", "bytearray", "deque", "defaultdict",
+    "np.array", "np.zeros", "np.ones", "np.empty", "np.full",
+    "numpy.array", "numpy.zeros", "numpy.ones", "numpy.empty",
+    "numpy.full",
+})
+
+
+@register
+class UnitSuffixRule(Rule):
+    """U001: unit-suffixed parameters are annotated and never
+    cross-assigned to a different unit within a call."""
+
+    rule_id = "U001"
+    summary = ("parameters with unit suffixes (_dbm/_db/_mw/_m/_mm/"
+               "_mrad/_v/_s/_hz) must be annotated, and keyword "
+               "arguments must not mix unit suffixes")
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        findings: List[Tuple[int, int, str]] = []
+        require_annotations = ctx.in_package()
+
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)) \
+                    and require_annotations:
+                findings.extend(self._check_signature(node))
+            elif isinstance(node, ast.Call):
+                findings.extend(self._check_call(node))
+
+        for line, column, message in findings:
+            yield self.finding(ctx, line, column, message)
+
+    def _check_signature(self, node: ast.AST
+                         ) -> List[Tuple[int, int, str]]:
+        findings = []
+        for arg in parameter_nodes(node):  # type: ignore[arg-type]
+            suffix = unit_suffix(arg.arg)
+            if suffix is None:
+                continue
+            text = annotation_text(arg.annotation)
+            if text is None:
+                findings.append((
+                    arg.lineno, arg.col_offset,
+                    f"parameter {arg.arg} carries the {suffix} unit "
+                    "suffix but no type annotation (expected float or "
+                    "an array type)"))
+            elif text in _NON_NUMERIC:
+                findings.append((
+                    arg.lineno, arg.col_offset,
+                    f"parameter {arg.arg} carries the {suffix} unit "
+                    f"suffix but is annotated {text}, which cannot "
+                    "hold a physical quantity"))
+        return findings
+
+    def _check_call(self, node: ast.Call) -> List[Tuple[int, int, str]]:
+        findings = []
+        for keyword in node.keywords:
+            if keyword.arg is None:
+                continue
+            expected = unit_suffix(keyword.arg)
+            if expected is None or not isinstance(keyword.value, ast.Name):
+                continue
+            actual = unit_suffix(keyword.value.id)
+            if actual is not None and actual != expected:
+                findings.append((
+                    keyword.value.lineno, keyword.value.col_offset,
+                    f"{keyword.value.id} ({actual}) passed into "
+                    f"{keyword.arg}= ({expected}); convert explicitly "
+                    "or rename one side"))
+        return findings
+
+
+@register
+class FloatTruncationRule(Rule):
+    """U002: no bare ``float(array_param)`` in ``optics/`` / ``link/``.
+
+    ``float()`` of a multi-element array raises at runtime; of a
+    single-element array it silently collapses a vector quantity.  A
+    reduction (``float(np.sum(x))``) states intent and stays allowed.
+    """
+
+    rule_id = "U002"
+    summary = ("no bare float(<array parameter>) in repro/optics and "
+               "repro/link; reduce explicitly first")
+
+    def applies_to(self, ctx: FileContext) -> bool:
+        return ctx.in_package("optics", "link")
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        findings: List[Tuple[int, int, str]] = []
+
+        class Visitor(FunctionStackVisitor):
+            def __init__(self) -> None:
+                super().__init__()
+                self._array_params: List[Set[str]] = []
+
+            def handle_function(self, node: ast.AST) -> None:
+                arrays = set()
+                for arg in parameter_nodes(node):  # type: ignore[arg-type]
+                    text = annotation_text(arg.annotation)
+                    if text and any(m in text for m in _ARRAY_MARKERS):
+                        arrays.add(arg.arg)
+                self._array_params.append(arrays)
+
+            def visit_Call(self, node: ast.Call) -> None:
+                if (isinstance(node.func, ast.Name)
+                        and node.func.id == "float"
+                        and len(node.args) == 1
+                        and isinstance(node.args[0], ast.Name)):
+                    name = node.args[0].id
+                    if any(name in scope for scope in self._array_params):
+                        findings.append((
+                            node.lineno, node.col_offset,
+                            f"float({name}) truncates an array-typed "
+                            "parameter; reduce it explicitly (e.g. "
+                            "float(np.sum(...)) or .item())"))
+                self.generic_visit(node)
+
+            def _visit_function(self, node: ast.AST) -> None:
+                super()._visit_function(node)  # type: ignore[arg-type]
+                self._array_params.pop()
+
+        Visitor().visit(ctx.tree)
+        for line, column, message in findings:
+            yield self.finding(ctx, line, column, message)
+
+
+@register
+class MutableDefaultRule(Rule):
+    """N001: no mutable default arguments."""
+
+    rule_id = "N001"
+    summary = ("no mutable default arguments (list/dict/set literals "
+               "or array constructors); use None plus an in-body "
+               "default")
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, (ast.FunctionDef,
+                                     ast.AsyncFunctionDef, ast.Lambda)):
+                continue
+            defaults = list(node.args.defaults) + [
+                d for d in node.args.kw_defaults if d is not None]
+            for default in defaults:
+                reason = _mutable_default_reason(default)
+                if reason is not None:
+                    yield self.finding(
+                        ctx, default.lineno, default.col_offset,
+                        f"mutable default argument ({reason}) is shared "
+                        "across calls; default to None instead")
+
+
+def _mutable_default_reason(node: ast.expr) -> Optional[str]:
+    if isinstance(node, (ast.List, ast.ListComp)):
+        return "list"
+    if isinstance(node, (ast.Dict, ast.DictComp)):
+        return "dict"
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return "set"
+    if isinstance(node, ast.Call):
+        names: Dict[str, str] = {}
+        func = node.func
+        if isinstance(func, ast.Name):
+            names[func.id] = func.id
+        elif isinstance(func, ast.Attribute) and \
+                isinstance(func.value, ast.Name):
+            dotted = f"{func.value.id}.{func.attr}"
+            names[dotted] = dotted
+        for name in names:
+            if name in _MUTABLE_FACTORIES:
+                return f"{name}()"
+    return None

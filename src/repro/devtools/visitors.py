@@ -1,0 +1,160 @@
+"""Shared AST-visitor machinery for the lint rules.
+
+Rules that need statement-level context subclass
+:class:`FunctionStackVisitor`, which tracks the stack of enclosing
+function definitions so a rule can ask "am I inside a function, and
+what are its parameters?".  Free helpers cover the patterns almost
+every rule needs: dotted attribute names and RNG-factory detection.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List, Optional, Tuple, Union
+
+FunctionNode = Union[ast.FunctionDef, ast.AsyncFunctionDef]
+
+#: Recognized unit suffixes, longest first so ``_mm`` wins over ``_m``
+#: and ``_dbm`` over ``_m``.  These are the unit classes Table 1 and
+#: the link budget juggle: absolute power (dBm), relative power (dB),
+#: linear power (mW), length (m / mm), angle (mrad), voltage (V),
+#: time (s), and rate (Hz).
+UNIT_SUFFIXES: Tuple[str, ...] = (
+    "_dbm", "_mrad", "_mm", "_mw", "_hz", "_db", "_m", "_v", "_s")
+
+
+def unit_suffix(name: str) -> Optional[str]:
+    """The unit suffix a name carries, or None.
+
+    Requires the underscore form (``power_dbm``); a bare ``v`` or ``s``
+    is a generic variable, not a unit annotation.
+    """
+    lowered = name.lower()
+    for suffix in UNIT_SUFFIXES:
+        if lowered.endswith(suffix) and len(lowered) > len(suffix):
+            return suffix
+    return None
+
+
+def dotted_name(node: ast.AST) -> Optional[str]:
+    """``a.b.c`` for a Name/Attribute chain rooted at a Name, else None."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def _is_none(node: ast.AST) -> bool:
+    return isinstance(node, ast.Constant) and node.value is None
+
+
+def rng_factory_name(call: ast.Call) -> Optional[str]:
+    """"default_rng"/"RandomState" when the call constructs a generator.
+
+    Matches both the attribute form (``np.random.default_rng``) and a
+    directly imported name (``default_rng(...)``).
+    """
+    name = dotted_name(call.func)
+    if name is None:
+        return None
+    leaf = name.rsplit(".", 1)[-1]
+    if leaf not in ("default_rng", "RandomState"):
+        return None
+    if "." in name:
+        root = name.split(".", 1)[0]
+        if root not in ("np", "numpy"):
+            return None
+    return leaf
+
+
+def is_unseeded_rng_call(call: ast.Call) -> bool:
+    """True for ``default_rng()`` / ``RandomState(None)``-style calls."""
+    if rng_factory_name(call) is None:
+        return False
+    if call.args:
+        return _is_none(call.args[0])
+    for keyword in call.keywords:
+        if keyword.arg is None:  # **kwargs -- assume the caller seeds it
+            return False
+        if keyword.arg == "seed":
+            return _is_none(keyword.value)
+    return True
+
+
+def literal_seed(call: ast.Call) -> Optional[int]:
+    """The hard-coded integer seed of an RNG-factory call, if any."""
+    if rng_factory_name(call) is None:
+        return None
+    seed_node: Optional[ast.expr] = None
+    if call.args:
+        seed_node = call.args[0]
+    else:
+        for keyword in call.keywords:
+            if keyword.arg == "seed":
+                seed_node = keyword.value
+    if (isinstance(seed_node, ast.Constant)
+            and isinstance(seed_node.value, int)
+            and not isinstance(seed_node.value, bool)):
+        return seed_node.value
+    return None
+
+
+def parameter_nodes(node: FunctionNode) -> List[ast.arg]:
+    """All named parameters of a function, in declaration order."""
+    args = node.args
+    return list(args.posonlyargs) + list(args.args) + list(args.kwonlyargs)
+
+
+def annotation_text(node: Optional[ast.AST]) -> Optional[str]:
+    """Source text of an annotation node (None when absent)."""
+    if node is None:
+        return None
+    return ast.unparse(node)
+
+
+class FunctionStackVisitor(ast.NodeVisitor):
+    """NodeVisitor that tracks the enclosing function-definition stack.
+
+    Subclasses override ``handle_*`` hooks instead of ``visit_*`` so the
+    stack bookkeeping cannot be accidentally lost.
+    """
+
+    def __init__(self) -> None:
+        self.function_stack: List[FunctionNode] = []
+        self.class_stack: List[ast.ClassDef] = []
+
+    # -- stack bookkeeping ---------------------------------------------------
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._visit_function(node)
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self._visit_function(node)
+
+    def visit_ClassDef(self, node: ast.ClassDef) -> None:
+        self.class_stack.append(node)
+        self.handle_class(node)
+        self.generic_visit(node)
+        self.class_stack.pop()
+
+    def _visit_function(self, node: FunctionNode) -> None:
+        self.handle_function(node)
+        self.function_stack.append(node)
+        self.generic_visit(node)
+        self.function_stack.pop()
+
+    # -- hooks for subclasses ------------------------------------------------
+
+    def handle_function(self, node: FunctionNode) -> None:
+        """Called for each function definition, before descending."""
+
+    def handle_class(self, node: ast.ClassDef) -> None:
+        """Called for each class definition, before descending."""
+
+    @property
+    def current_function(self) -> Optional[FunctionNode]:
+        return self.function_stack[-1] if self.function_stack else None

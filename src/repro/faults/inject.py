@@ -270,20 +270,20 @@ class NullInjector:
     def __init__(self, log: Optional[EventLog] = None):
         self.log = log if log is not None else EventLog()
 
-    def tracker_report(self, t_s, tracker, pose):
+    def tracker_report(self, t_s: float, tracker, pose):
         return tracker.report(pose)
 
-    def calibration_report(self, t_s, tracker, pose):
+    def calibration_report(self, t_s: float, tracker, pose):
         return tracker.report(pose)
 
-    def command_latency_extra_s(self, t_s):
+    def command_latency_extra_s(self, t_s: float) -> float:
         return 0.0
 
-    def apply_command(self, t_s, testbed, command):
+    def apply_command(self, t_s: float, testbed, command):
         return testbed.apply_command(command)
 
-    def blockage_active(self, t_s):
+    def blockage_active(self, t_s: float) -> bool:
         return False
 
-    def channel_sample(self, t_s, channel, pose):
+    def channel_sample(self, t_s: float, channel, pose):
         return channel.evaluate(pose)

@@ -73,7 +73,7 @@ class TrackerDropout:
     category = TRACKER
     kind = "dropout"
 
-    def windows(self, duration_s, rng):
+    def windows(self, duration_s: float, rng: np.random.Generator):
         return poisson_windows(rng, duration_s, self.rate_hz,
                                self.mean_duration_s)
 
@@ -88,7 +88,7 @@ class TrackerFreeze:
     category = TRACKER
     kind = "freeze"
 
-    def windows(self, duration_s, rng):
+    def windows(self, duration_s: float, rng: np.random.Generator):
         return poisson_windows(rng, duration_s, self.rate_hz,
                                self.mean_duration_s)
 
@@ -109,7 +109,7 @@ class TrackerOutlierBurst:
     category = TRACKER
     kind = "outlier"
 
-    def windows(self, duration_s, rng):
+    def windows(self, duration_s: float, rng: np.random.Generator):
         return poisson_windows(rng, duration_s, self.rate_hz,
                                self.mean_duration_s)
 
@@ -161,7 +161,7 @@ class ChannelBlockage:
     category = CHANNEL
     kind = "blockage"
 
-    def windows(self, duration_s, rng):
+    def windows(self, duration_s: float, rng: np.random.Generator):
         if self.events:
             return [(ev.start_s, min(ev.end_s, duration_s))
                     for ev in self.events if ev.start_s < duration_s]

@@ -16,9 +16,11 @@ directly:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Optional, Tuple
 
 import numpy as np
 
+from ..determinism import resolve_rng
 from ..geometry import Ray
 from .daq import Daq
 from .mirror import GmaParams, mirror_planes, trace
@@ -48,11 +50,16 @@ class GalvoHardware:
     spec: GalvoSpec = GVS102
     daq: Daq = field(default_factory=Daq)
     nonlinearity: float = 0.0
-    rng: np.random.Generator = None
+    #: Jitter source.  Pass ``rng`` or ``seed``; constructing without
+    #: either raises unless ``deterministic=False`` documents the
+    #: OS-entropy opt-in (see :mod:`repro.determinism`).
+    rng: Optional[np.random.Generator] = None
+    seed: Optional[int] = None
+    deterministic: bool = True
 
-    def __post_init__(self):
-        if self.rng is None:
-            self.rng = np.random.default_rng()
+    def __post_init__(self) -> None:
+        self.rng = resolve_rng(self.rng, self.seed, self.deterministic,
+                               owner="GalvoHardware")
         self._v1 = 0.0
         self._v2 = 0.0
         self._angle1 = self._true_angle(0.0)
@@ -61,7 +68,7 @@ class GalvoHardware:
     # -- voltage handling ----------------------------------------------------
 
     @property
-    def voltages(self) -> tuple:
+    def voltages(self) -> Tuple[float, float]:
         """Currently applied (quantized) voltages."""
         return self._v1, self._v2
 

@@ -17,7 +17,7 @@ proposed fix (an achromatic custom collimator).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List
+from typing import List, Optional, Tuple
 
 from .design import LinkDesign, link_25g
 
@@ -59,7 +59,7 @@ class MultiWavelengthDesign:
 
     name: str
     base: LinkDesign
-    lane_wavelengths_nm: tuple = CWDM4_WAVELENGTHS_NM
+    lane_wavelengths_nm: Tuple[float, ...] = CWDM4_WAVELENGTHS_NM
     lane_rate_gbps: float = 10.3125
     design_wavelength_nm: float = 1301.0  # band center
     chromatic_db_per_nm: float = COMMODITY_CHROMATIC_DB_PER_NM
@@ -69,7 +69,7 @@ class MultiWavelengthDesign:
         offset = abs(wavelength_nm - self.design_wavelength_nm)
         return self.chromatic_db_per_nm * offset
 
-    def lane_reports(self, range_m: float = None) -> List[LaneReport]:
+    def lane_reports(self, range_m: Optional[float] = None) -> List[LaneReport]:
         """Per-lane budgets at a link range."""
         if range_m is None:
             range_m = self.base.design_range_m
@@ -80,11 +80,11 @@ class MultiWavelengthDesign:
                     margin_db=base_margin - self.chromatic_loss_db(wl))
                 for wl in self.lane_wavelengths_nm]
 
-    def worst_lane_margin_db(self, range_m: float = None) -> float:
+    def worst_lane_margin_db(self, range_m: Optional[float] = None) -> float:
         """The binding lane's margin -- the whole link's headroom."""
         return min(r.margin_db for r in self.lane_reports(range_m))
 
-    def is_feasible(self, range_m: float = None) -> bool:
+    def is_feasible(self, range_m: Optional[float] = None) -> bool:
         """True when every lane's budget closes."""
         return all(r.closes for r in self.lane_reports(range_m))
 
@@ -92,8 +92,8 @@ class MultiWavelengthDesign:
     def aggregate_rate_gbps(self) -> float:
         return self.lane_rate_gbps * len(self.lane_wavelengths_nm)
 
-    def worst_lane_angular_tolerance_rad(self,
-                                         range_m: float = None) -> float:
+    def worst_lane_angular_tolerance_rad(
+            self, range_m: Optional[float] = None) -> float:
         """RX angular tolerance with the binding lane's margin.
 
         The chromatic penalty does not just shave static budget -- it
@@ -113,14 +113,14 @@ class MultiWavelengthDesign:
         return width * math.sqrt(margin / EXCESS_DB_AT_WIDTH)
 
 
-def link_40g_commodity(base: LinkDesign = None) -> MultiWavelengthDesign:
+def link_40g_commodity(base: Optional[LinkDesign] = None) -> MultiWavelengthDesign:
     """A 40G CWDM4 design with commodity (chromatic) collimators."""
     return MultiWavelengthDesign(
         name="40G CWDM4, commodity collimators",
         base=base if base is not None else link_25g())
 
 
-def link_40g_custom(base: LinkDesign = None) -> MultiWavelengthDesign:
+def link_40g_custom(base: Optional[LinkDesign] = None) -> MultiWavelengthDesign:
     """The Section 6 fix: achromatic custom collimators."""
     return MultiWavelengthDesign(
         name="40G CWDM4, custom achromatic collimators",

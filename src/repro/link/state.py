@@ -23,7 +23,7 @@ class LinkStateMachine:
     sfp: Sfp
     initially_up: bool = True
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         self._up = self.initially_up
         # When the signal became continuously present; -inf means
         # "for as long as we have been watching".

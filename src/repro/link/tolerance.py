@@ -19,6 +19,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
+from typing import Callable, Iterable, List, Optional
 
 from ..optics import EXCESS_DB_AT_WIDTH
 from .design import LinkDesign
@@ -73,7 +74,8 @@ def lateral_tolerance_m(design: LinkDesign, range_m: float) -> float:
                      / (lateral_term + angular_term))
 
 
-def evaluate(design: LinkDesign, range_m: float = None) -> ToleranceReport:
+def evaluate(design: LinkDesign,
+             range_m: Optional[float] = None) -> ToleranceReport:
     """Full tolerance report for a design (Table 1 row)."""
     if range_m is None:
         range_m = design.design_range_m
@@ -88,7 +90,9 @@ def evaluate(design: LinkDesign, range_m: float = None) -> ToleranceReport:
     )
 
 
-def diameter_sweep(design_factory, diameters_m, range_m: float) -> list:
+def diameter_sweep(design_factory: Callable[[float], LinkDesign],
+                   diameters_m: Iterable[float],
+                   range_m: float) -> List[ToleranceReport]:
     """Fig. 11's sweep: tolerances vs beam diameter at RX.
 
     ``design_factory`` maps a beam diameter to a :class:`LinkDesign`

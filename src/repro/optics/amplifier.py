@@ -18,7 +18,7 @@ class Amplifier:
     gain_db: float
     saturation_output_dbm: float = 23.0  # typical booster EDFA
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         if self.gain_db < 0:
             raise ValueError("amplifier gain cannot be negative")
 

@@ -32,7 +32,7 @@ class Collimator:
     focal_length_m: float
     fiber_core_m: float
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         if min(self.aperture_m, self.focal_length_m, self.fiber_core_m) <= 0:
             raise ValueError("all collimator dimensions must be positive")
 
@@ -64,7 +64,7 @@ class BeamExpander:
 
     magnification: float
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         if self.magnification <= 0:
             raise ValueError("magnification must be positive")
 

@@ -41,7 +41,7 @@ class CouplingModel:
     lateral_width_m: float
     angular_width_rad: float
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         if self.lateral_width_m <= 0 or self.angular_width_rad <= 0:
             raise ValueError("coupling widths must be positive")
 

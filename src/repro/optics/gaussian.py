@@ -26,7 +26,7 @@ class GaussianBeam:
     divergence_rad: float
     wavelength_m: float = 1550e-9
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         if self.waist_diameter_m <= 0:
             raise ValueError("waist diameter must be positive")
         if self.divergence_rad < 0:

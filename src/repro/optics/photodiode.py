@@ -10,8 +10,10 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 import math
+from typing import Optional
 
 import numpy as np
+import numpy.typing as npt
 
 from .units import dbm_to_mw
 
@@ -28,17 +30,25 @@ class QuadPhotodiode:
     responsivity: float = 1.0
     noise_mw: float = 1e-7
 
-    def read(self, beam_power_dbm: float, beam_offset_m,
-             beam_diameter_m: float, rng=None) -> np.ndarray:
+    def read(self, beam_power_dbm: float, beam_offset_m: npt.ArrayLike,
+             beam_diameter_m: float,
+             rng: Optional[np.random.Generator] = None) -> np.ndarray:
         """Per-quadrant photocurrents for a beam landing near the lens.
 
         ``beam_offset_m`` is the beam center's (x, y) offset from the
         lens center in the lens plane.  Each diode sees the local
         Gaussian intensity of the spot; the readings are what the
         alignment search's directional hints are computed from.
+
+        Measurement noise requires an explicit generator: with
+        ``noise_mw > 0`` and no ``rng``, this raises rather than
+        silently drawing from OS entropy (the repo's determinism
+        contract).  Noise-free monitors (``noise_mw=0``) need no rng.
         """
-        if rng is None:
-            rng = np.random.default_rng()
+        if self.noise_mw > 0.0 and rng is None:
+            raise ValueError(
+                "QuadPhotodiode.read needs rng=np.random.Generator when "
+                "noise_mw > 0; pass one or construct with noise_mw=0")
         offset = np.asarray(beam_offset_m, dtype=float)
         if offset.shape != (2,):
             raise ValueError("beam offset must be a 2-vector in lens plane")
@@ -50,8 +60,9 @@ class QuadPhotodiode:
         for i, pos in enumerate(positions):
             r2 = float(np.sum((pos - offset) ** 2))
             intensity = math.exp(-2.0 * r2 / (w * w))
-            readings[i] = (self.responsivity * total_mw * intensity
-                           + rng.normal(0.0, self.noise_mw))
+            readings[i] = self.responsivity * total_mw * intensity
+            if self.noise_mw > 0.0 and rng is not None:
+                readings[i] += rng.normal(0.0, self.noise_mw)
         return np.maximum(readings, 0.0)
 
     def centroid_hint(self, readings: np.ndarray) -> np.ndarray:

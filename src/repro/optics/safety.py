@@ -17,8 +17,12 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 from .gaussian import GaussianBeam
+
+if TYPE_CHECKING:
+    from ..link.design import LinkDesign
 from .units import dbm_to_mw
 
 #: Diameter of a dark-adapted human pupil (the measurement aperture).
@@ -113,7 +117,7 @@ class SafetyReport:
 TX_SIDE_INSERTION_LOSS_DB = 7.0
 
 
-def assess_design(design,
+def assess_design(design: "LinkDesign",
                   tx_insertion_loss_db: float = TX_SIDE_INSERTION_LOSS_DB
                   ) -> SafetyReport:
     """Safety report for a :class:`repro.link.LinkDesign`.

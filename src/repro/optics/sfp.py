@@ -25,7 +25,7 @@ class Sfp:
     optimal_throughput_gbps: float
     relock_delay_s: float = constants.SFP_RELOCK_DELAY_S
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         if self.line_rate_gbps <= 0:
             raise ValueError("line rate must be positive")
         if self.optimal_throughput_gbps > self.line_rate_gbps:

@@ -21,7 +21,7 @@ Tests may inspect the hidden truth; the pipeline must not.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List
+from typing import List, Sequence
 
 import numpy as np
 
@@ -321,7 +321,8 @@ class Testbed:
                                   rx_kspace_model=models["rx"],
                                   mapping_samples=samples)
 
-    def apply_tracker_drift(self, translation_m=(0.0, 0.0, 0.0),
+    def apply_tracker_drift(self,
+                            translation_m: Sequence[float] = (0.0, 0.0, 0.0),
                             yaw_rad: float = 0.0) -> None:
         """Simulate VRH-T drift: the VR-space frame shifts.
 

@@ -17,10 +17,12 @@ its own (Section 3).  Two properties of VRH-T shape the whole design:
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import List, Optional
 
 import numpy as np
 
 from .. import constants
+from ..determinism import resolve_rng
 from ..geometry import RigidTransform, rotation_matrix
 from .pose import Pose
 
@@ -38,11 +40,16 @@ class VrhTracker:
     location_noise_m: float = constants.TRACKER_LOCATION_NOISE_MAX_M / 3.0
     orientation_noise_rad: float = (
         constants.TRACKER_ORIENTATION_NOISE_MAX_RAD / 3.0)
-    rng: np.random.Generator = None
+    #: Measurement-noise source.  Pass ``rng`` or ``seed``; omitting
+    #: both raises unless ``deterministic=False`` documents the
+    #: OS-entropy opt-in (see :mod:`repro.determinism`).
+    rng: Optional[np.random.Generator] = None
+    seed: Optional[int] = None
+    deterministic: bool = True
 
-    def __post_init__(self):
-        if self.rng is None:
-            self.rng = np.random.default_rng()
+    def __post_init__(self) -> None:
+        self.rng = resolve_rng(self.rng, self.seed, self.deterministic,
+                               owner="VrhTracker")
         if self.location_noise_m < 0 or self.orientation_noise_rad < 0:
             raise ValueError("noise magnitudes cannot be negative")
 
@@ -93,7 +100,8 @@ class VrhTracker:
             high = constants.TRACKER_PERIOD_MAX_S
         return float(self.rng.uniform(low, high))
 
-    def report_times(self, duration_s: float, start_s: float = 0.0) -> list:
+    def report_times(self, duration_s: float,
+                     start_s: float = 0.0) -> List[float]:
         """All report timestamps within ``[start_s, start_s + duration]``."""
         times = []
         t = start_s

@@ -1,0 +1,7 @@
+"""D002 true negative: same constructs outside the repro package."""
+import random
+import time
+
+
+def jitter():
+    return random.random() + time.time()

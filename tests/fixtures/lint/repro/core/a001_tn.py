@@ -1,0 +1,10 @@
+"""A001 true negatives: annotated public API, exempt private helper."""
+from typing import List
+
+
+def fit(samples: List[float], iterations: int = 10) -> List[float]:
+    return samples
+
+
+def _helper(samples):
+    return samples

@@ -1,0 +1,5 @@
+"""A001 true positive: public core function missing annotations."""
+
+
+def fit(samples, iterations=10):
+    return samples

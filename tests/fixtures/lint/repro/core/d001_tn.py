@@ -1,0 +1,5 @@
+"""D001 true negative: explicit seeds everywhere."""
+import numpy as np
+
+rng = np.random.default_rng(42)
+legacy = np.random.RandomState(7)

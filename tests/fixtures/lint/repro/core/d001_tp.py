@@ -1,0 +1,5 @@
+"""D001 true positive: unseeded generator construction."""
+import numpy as np
+
+rng = np.random.default_rng()
+legacy = np.random.RandomState()

@@ -1,0 +1,7 @@
+"""D002 true positive: stdlib random and wall-clock in repro."""
+import random
+import time
+
+
+def jitter():
+    return random.random() + time.time()

@@ -1,0 +1,5 @@
+"""D003 true negative: a local Generator instead of global state."""
+import numpy as np
+
+rng = np.random.default_rng(3)
+sample = rng.uniform(0.0, 1.0)

@@ -1,0 +1,5 @@
+"""D003 true positive: global numpy RNG state mutation."""
+import numpy as np
+
+np.random.seed(0)
+sample = np.random.uniform(0.0, 1.0)

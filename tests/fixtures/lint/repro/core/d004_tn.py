@@ -1,0 +1,10 @@
+"""D004 true negatives: seed plumbing and child-generator spawning."""
+import numpy as np
+
+
+def build(seed: int = 7) -> np.random.Generator:
+    return np.random.default_rng(seed)
+
+
+def spawn_child(rng: np.random.Generator) -> np.random.Generator:
+    return np.random.default_rng(rng.integers(2 ** 63))

@@ -1,0 +1,7 @@
+"""D004 true positive: literal seed buried inside a function."""
+import numpy as np
+
+
+def sample_noise() -> float:
+    rng = np.random.default_rng(1234)
+    return float(rng.normal())

@@ -1,0 +1,12 @@
+"""N001 true negatives: None sentinel and immutable defaults."""
+from typing import List, Optional, Tuple
+
+
+def append_to(item: float, bucket: Optional[List[float]] = None) -> List[float]:
+    out = [] if bucket is None else bucket
+    out.append(item)
+    return out
+
+
+def scale(values: Tuple[float, ...] = (1.0, 2.0)) -> Tuple[float, ...]:
+    return values

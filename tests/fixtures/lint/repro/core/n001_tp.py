@@ -1,0 +1,10 @@
+"""N001 true positives: mutable default arguments."""
+
+
+def append_to(item: float, bucket=[]) -> list:
+    bucket.append(item)
+    return bucket
+
+
+def tally(counts={}) -> dict:
+    return counts

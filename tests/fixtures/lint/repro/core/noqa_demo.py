@@ -1,0 +1,4 @@
+"""Suppression demo: one deliberate D001 with an inline waiver."""
+import numpy as np
+
+rng = np.random.default_rng()  # repro: noqa[D001]

@@ -1,0 +1,14 @@
+"""U001 true negatives: annotated units, straight-through passing."""
+import numpy as np
+
+
+def attenuate(power_dbm: float, loss_db: float) -> float:
+    return power_dbm - loss_db
+
+
+def forward(power_dbm: float, loss_db: float) -> float:
+    return attenuate(power_dbm=power_dbm, loss_db=loss_db)
+
+
+def norm(v: np.ndarray) -> float:
+    return float(np.linalg.norm(v))

@@ -1,0 +1,13 @@
+"""U001 true positives: unannotated / cross-assigned unit params."""
+
+
+def launch(power_dbm, loss_db: str) -> None:
+    pass
+
+
+def attenuate(power_dbm: float, loss_db: float) -> float:
+    return power_dbm - loss_db
+
+
+def misuse(power_dbm: float, loss_db: float) -> float:
+    return attenuate(power_dbm=loss_db, loss_db=power_dbm)

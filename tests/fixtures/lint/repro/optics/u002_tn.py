@@ -1,0 +1,6 @@
+"""U002 true negative: explicit element selection before float()."""
+import numpy as np
+
+
+def first_sample(power_mw: np.ndarray) -> float:
+    return float(power_mw[0])

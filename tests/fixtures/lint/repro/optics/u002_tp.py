@@ -1,0 +1,6 @@
+"""U002 true positive: float() truncation of an array parameter."""
+import numpy as np
+
+
+def collapse(power_mw: np.ndarray) -> float:
+    return float(power_mw)

@@ -1,0 +1,118 @@
+"""End-to-end tests of ``python -m repro lint`` and the tree gates.
+
+Runs the CLI in a subprocess (exit codes, JSON schema) and asserts the
+two repo-wide invariants the PR establishes: ``src/repro`` lints clean,
+and ``repro/core`` contains zero suppressions.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.devtools import lint_paths
+from repro.devtools.reporters import JSON_SCHEMA_VERSION, to_payload
+
+ROOT = Path(__file__).parent.parent
+FIXTURES = Path(__file__).parent / "fixtures" / "lint"
+SRC_REPRO = ROOT / "src" / "repro"
+
+
+def run_lint_cli(*args: str) -> "subprocess.CompletedProcess[str]":
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(ROOT / "src") + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else "")
+    return subprocess.run(
+        [sys.executable, "-m", "repro", "lint", *args],
+        capture_output=True, text=True, env=env, cwd=str(ROOT))
+
+
+def test_exit_zero_on_clean_file():
+    proc = run_lint_cli(str(FIXTURES / "repro/core/a001_tn.py"))
+    assert proc.returncode == 0, proc.stdout + proc.stderr
+    assert "clean" in proc.stdout
+
+
+def test_exit_one_on_findings():
+    proc = run_lint_cli(str(FIXTURES / "repro/core/d001_tp.py"),
+                        "--select", "D001")
+    assert proc.returncode == 1
+    assert "D001" in proc.stdout
+
+
+def test_exit_two_on_unknown_rule():
+    proc = run_lint_cli(str(FIXTURES), "--select", "Z9")
+    assert proc.returncode == 2
+
+
+def test_exit_two_on_missing_path():
+    proc = run_lint_cli(str(FIXTURES / "does_not_exist.py"))
+    assert proc.returncode == 2
+
+
+def test_warn_only_reports_but_exits_zero():
+    proc = run_lint_cli(str(FIXTURES / "repro/core/d001_tp.py"),
+                        "--select", "D001", "--warn-only")
+    assert proc.returncode == 0
+    assert "D001" in proc.stdout
+
+
+def test_list_rules_names_every_rule():
+    proc = run_lint_cli("--list-rules")
+    assert proc.returncode == 0
+    for rule_id in ("D001", "D002", "D003", "D004",
+                    "U001", "U002", "N001", "A001"):
+        assert rule_id in proc.stdout
+
+
+def test_json_format_schema_round_trip():
+    proc = run_lint_cli(str(FIXTURES / "repro/core/d001_tp.py"),
+                        "--select", "D001", "--format", "json")
+    assert proc.returncode == 1
+    payload = json.loads(proc.stdout)
+    assert payload["version"] == JSON_SCHEMA_VERSION
+    assert payload["files_checked"] == 1
+    assert payload["counts"].get("D001", 0) >= 1
+    for finding in payload["findings"]:
+        assert set(finding) == {"path", "line", "column", "rule", "message"}
+    # The CLI payload must match the library's own serialization.
+    library = to_payload(lint_paths(
+        [FIXTURES / "repro/core/d001_tp.py"], select=["D001"]))
+    assert payload == library
+
+
+def test_ignore_flag_drops_rule():
+    proc = run_lint_cli(str(FIXTURES / "repro/core/d001_tp.py"),
+                        "--select", "D", "--ignore", "D001")
+    assert proc.returncode == 0
+
+
+def test_src_repro_tree_lints_clean():
+    """The PR's headline gate: zero findings over the real package."""
+    result = lint_paths([SRC_REPRO])
+    assert result.clean, "\n".join(f.render() for f in result.findings)
+
+
+def test_core_has_zero_suppressions():
+    """ISSUE acceptance: no ``repro: noqa`` waivers inside repro/core."""
+    offenders = []
+    for path in sorted((SRC_REPRO / "core").rglob("*.py")):
+        if "repro: noqa" in path.read_text():
+            offenders.append(str(path))
+    assert not offenders, offenders
+
+
+@pytest.mark.skipif(importlib.util.find_spec("mypy") is None,
+                    reason="mypy not installed in this environment")
+def test_mypy_passes_on_typed_core():
+    proc = subprocess.run(
+        [sys.executable, "-m", "mypy", "--config-file",
+         str(ROOT / "pyproject.toml")],
+        capture_output=True, text=True, cwd=str(ROOT))
+    assert proc.returncode == 0, proc.stdout + proc.stderr
