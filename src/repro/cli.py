@@ -13,6 +13,7 @@ can poke the system without writing code::
     python -m repro bench             # time the trace pipeline
     python -m repro chaos             # fault-injection robustness sweep
     python -m repro lint              # determinism/units static analysis
+    python -m repro analyze           # whole-program layering/unit/RNG flow
 """
 
 from __future__ import annotations
@@ -257,6 +258,12 @@ def _cmd_lint(args):
     return run_lint(args)
 
 
+def _cmd_analyze(args):
+    """Run the repro.devtools.program whole-program analyzer."""
+    from .devtools.program.cli import run_analyze
+    return run_analyze(args)
+
+
 def _cmd_scenarios(args):
     from .reporting import TextTable
     from .simulate import list_scenarios
@@ -345,6 +352,13 @@ def build_parser() -> argparse.ArgumentParser:
     from .devtools.cli import add_lint_arguments
     add_lint_arguments(lint)
     lint.set_defaults(func=_cmd_lint)
+
+    analyze = sub.add_parser(
+        "analyze",
+        help="whole-program layering/unit-flow/RNG-taint analysis")
+    from .devtools.program.cli import add_analyze_arguments
+    add_analyze_arguments(analyze)
+    analyze.set_defaults(func=_cmd_analyze)
 
     sub.add_parser("scenarios", help="list the experiment registry"
                    ).set_defaults(func=_cmd_scenarios)

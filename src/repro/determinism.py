@@ -51,3 +51,14 @@ def spawn(rng: np.random.Generator) -> np.random.Generator:
     without correlating draws or sharing mutable state.
     """
     return np.random.default_rng(rng.integers(2 ** 63))
+
+
+def derive(*keys: int) -> np.random.Generator:
+    """Deterministic generator keyed by a tuple of integers.
+
+    The sanctioned way to give each item of a structured sweep its own
+    independent stream (``derive(seed, viewer, video)``): the keys feed
+    a ``SeedSequence``, so the stream depends on the whole tuple and
+    regenerating any single item needs no global draw order.
+    """
+    return np.random.default_rng(np.random.SeedSequence(list(keys)))

@@ -19,12 +19,17 @@ Run it as ``python -m repro lint``; suppress a single finding with a
 ``# repro: noqa[RULE]`` comment on the offending line (bare
 ``# repro: noqa`` suppresses every rule on the line).  The rule
 catalog lives in DESIGN.md.
+
+The per-file rules see one AST at a time.  Their whole-program
+counterparts — the import-layering contract (``L``), call-site unit
+flow (``X``) and RNG-provenance taint (``T``) — live in
+:mod:`repro.devtools.program` and run as ``python -m repro analyze``.
 """
 
 from .engine import LintResult, lint_paths
 from .findings import Finding
 from .registry import Rule, all_rules, get_rule, resolve_selection
-from .reporters import render_json, render_text
+from .reporters import render_github, render_json, render_text
 
 __all__ = [
     "Finding",
@@ -33,6 +38,7 @@ __all__ = [
     "all_rules",
     "get_rule",
     "lint_paths",
+    "render_github",
     "render_json",
     "render_text",
     "resolve_selection",

@@ -3,7 +3,9 @@
 Exit codes follow compiler conventions: 0 clean, 1 findings, 2 usage
 error (unknown rule, missing path).  ``--warn-only`` reports findings
 but exits 0 -- the mode used to survey ``benchmarks/`` and
-``examples/`` without gating on them.
+``examples/`` without gating on them.  ``--max-waivers N`` turns the
+suppression count itself into a budget: ``# repro: noqa`` waivers
+beyond N fail the run, so the waiver list can only ratchet down.
 """
 
 from __future__ import annotations
@@ -14,7 +16,7 @@ from typing import List, Optional
 
 from .engine import lint_paths
 from .registry import all_rules
-from .reporters import render_json, render_text
+from .reporters import render_github, render_json, render_text
 
 
 def default_lint_target() -> str:
@@ -32,8 +34,10 @@ def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
         "paths", nargs="*", default=None,
         help="files/directories to lint (default: the repro package)")
     parser.add_argument(
-        "--format", choices=("text", "json"), default="text",
-        help="output format (default text)")
+        "--format", choices=("text", "json", "github"),
+        default="text",
+        help="output format (default text; github emits ::error "
+             "workflow annotations)")
     parser.add_argument(
         "--select", default=None, metavar="RULES",
         help="comma-separated rule ids/prefixes to run (e.g. D,U001)")
@@ -43,6 +47,11 @@ def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--warn-only", action="store_true",
         help="report findings but exit 0 (survey mode)")
+    parser.add_argument(
+        "--max-waivers", type=int, default=None, metavar="N",
+        help="fail (exit 1) when more than N findings are waived by "
+             "noqa comments; the repo's waiver budget only ratchets "
+             "down")
     parser.add_argument(
         "--list-rules", action="store_true",
         help="print the rule catalog and exit")
@@ -69,8 +78,16 @@ def run_lint(args: argparse.Namespace) -> int:
         return 2
     if args.format == "json":
         print(render_json(result))
+    elif args.format == "github":
+        print(render_github(result))
     else:
         print(render_text(result))
+    if args.max_waivers is not None and \
+            result.suppressed > args.max_waivers:
+        print(f"waiver budget exceeded: {result.suppressed} findings "
+              f"suppressed by noqa, budget is {args.max_waivers}; "
+              "burn a waiver down before adding a new one")
+        return 1
     if result.findings and not args.warn_only:
         return 1
     return 0

@@ -1,0 +1,84 @@
+"""repro.devtools.program: the whole-program analyzer.
+
+Where ``repro lint`` checks one file at a time, this package parses
+all of ``src/repro`` once into a **project index** — module table,
+import graph, and a resolved call graph with per-function parameter /
+return unit signatures inferred from the repo's ``*_dbm`` / ``*_mw`` /
+``*_mrad`` suffix convention — then runs three interprocedural rule
+families over it:
+
+* **L-series** — the import-layering contract (the explicit layer DAG
+  ``geometry/optics/galvo/vrh -> core/link -> motion/plan ->
+  simulate/faults -> devtools/cli``): upward imports, module cycles,
+  and unassigned subpackages;
+* **X-series** — call-site unit flow: argument-vs-parameter suffix
+  mismatches across files, dB-vs-linear mixing through the
+  ``repro.optics.units`` converters, and return values bound to
+  differently-suffixed names;
+* **T-series** — RNG provenance taint: generators minted only inside
+  ``repro.determinism``, no RNG object crossing the ``parallel_map``
+  process boundary, and every stochastic sink threaded a traceable
+  ``rng=`` / ``seed=``.
+
+Run it as ``python -m repro analyze``.  The index is cached on disk
+keyed by content hash (warm re-runs skip parsing entirely) and
+findings ratchet against a committed baseline file — new findings
+fail, pre-existing ones are frozen until burned down.
+"""
+
+from .analyzer import (
+    DEFAULT_BASELINE,
+    AnalyzeResult,
+    analyze_paths,
+    load_baseline,
+    run_program_rules,
+    write_baseline,
+)
+from .extract import extract_module, module_name_for
+from .index import (
+    DEFAULT_CACHE_DIR,
+    ProjectIndex,
+    ResolvedCallee,
+    build_index,
+)
+from .model import (
+    CallSite,
+    ClassInfo,
+    FunctionInfo,
+    ImportedName,
+    ModuleInfo,
+    ParamInfo,
+    ValueDesc,
+)
+from .registry import (
+    ProgramRule,
+    all_program_rules,
+    register_program_rule,
+    resolve_program_selection,
+)
+
+__all__ = [
+    "AnalyzeResult",
+    "CallSite",
+    "ClassInfo",
+    "DEFAULT_BASELINE",
+    "DEFAULT_CACHE_DIR",
+    "FunctionInfo",
+    "ImportedName",
+    "ModuleInfo",
+    "ParamInfo",
+    "ProgramRule",
+    "ProjectIndex",
+    "ResolvedCallee",
+    "ValueDesc",
+    "all_program_rules",
+    "analyze_paths",
+    "build_index",
+    "extract_module",
+    "load_baseline",
+    "module_name_for",
+    "register_program_rule",
+    "resolve_program_selection",
+    "run_program_rules",
+    "write_baseline",
+]

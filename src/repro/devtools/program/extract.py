@@ -1,0 +1,428 @@
+"""Per-file extraction: one parsed AST in, one :class:`ModuleInfo` out.
+
+This is the only place the analyzer touches an AST.  Everything the
+interprocedural rules need — imports with their laziness and
+``TYPE_CHECKING`` status, function signatures, class constructor
+shapes, call sites with argument descriptions, RNG-source names — is
+distilled here into the JSON-serializable model, so the rest of the
+package (and the on-disk cache) never re-parses source.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from ..context import package_parts, parse_noqa
+from ..visitors import dotted_name, parameter_nodes, unit_suffix
+from .model import (
+    CallSite,
+    ClassInfo,
+    FunctionInfo,
+    ImportedName,
+    ModuleInfo,
+    ParamInfo,
+    ValueDesc,
+)
+
+#: Callee leaves that produce an RNG object (sanctioned or not).
+RNG_PRODUCERS = frozenset({
+    "resolve_rng", "spawn", "derive", "default_rng", "RandomState"})
+
+
+def module_name_for(path: str) -> str:
+    """Dotted module name for a file, rooted at the ``repro`` package.
+
+    ``src/repro/optics/units.py`` -> ``repro.optics.units``; package
+    ``__init__.py`` files name the package itself.  Files outside a
+    ``repro`` tree (fixtures, benchmarks) use their own trailing
+    components, so a fixture tree embedding ``repro/...`` indexes
+    exactly like the real package.
+    """
+    parts = list(package_parts(path))
+    if not parts:
+        return ""
+    leaf = parts[-1]
+    if leaf == "__init__.py":
+        parts = parts[:-1]
+    elif leaf.endswith(".py"):
+        parts[-1] = leaf[:-3]
+    return ".".join(parts)
+
+
+def _is_none(node: Optional[ast.expr]) -> bool:
+    return isinstance(node, ast.Constant) and node.value is None
+
+
+def _leaf(dotted: str) -> str:
+    return dotted.rsplit(".", 1)[-1]
+
+
+def _free_names(node: ast.expr) -> Tuple[Set[str], Set[str]]:
+    """(loaded names, dotted callees) inside an expression.
+
+    Names bound by lambdas and comprehensions within the expression are
+    excluded from the loaded set — they are not free.
+    """
+    loaded: Set[str] = set()
+    bound: Set[str] = set()
+    callees: Set[str] = set()
+    for child in ast.walk(node):
+        if isinstance(child, ast.Name):
+            if isinstance(child.ctx, ast.Load):
+                loaded.add(child.id)
+            else:
+                bound.add(child.id)
+        elif isinstance(child, ast.Lambda):
+            for arg in parameter_nodes(child):  # type: ignore[arg-type]
+                bound.add(arg.arg)
+        elif isinstance(child, ast.Call):
+            name = dotted_name(child.func)
+            if name is not None:
+                callees.add(name)
+    return loaded - bound, callees
+
+
+def describe_value(node: ast.expr) -> ValueDesc:
+    """Build the :class:`ValueDesc` approximation of one expression."""
+    names, callees = _free_names(node)
+    names_t = tuple(sorted(names))
+    calls_t = tuple(sorted(callees))
+    if isinstance(node, ast.Name):
+        return ValueDesc(kind="name", text=node.id,
+                         suffix=unit_suffix(node.id),
+                         names=names_t, calls=calls_t)
+    if isinstance(node, ast.Attribute):
+        dotted = dotted_name(node)
+        if dotted is not None:
+            return ValueDesc(kind="attr", text=dotted,
+                             suffix=unit_suffix(_leaf(dotted)),
+                             names=names_t, calls=calls_t)
+        return ValueDesc(kind="other", names=names_t, calls=calls_t)
+    if isinstance(node, ast.Call):
+        dotted = dotted_name(node.func) or ""
+        return ValueDesc(kind="call", text=dotted,
+                         names=names_t, calls=calls_t)
+    if isinstance(node, ast.Lambda):
+        return ValueDesc(kind="lambda", names=names_t, calls=calls_t)
+    if isinstance(node, ast.Constant):
+        return ValueDesc(kind="const", text=repr(node.value))
+    return ValueDesc(kind="other", names=names_t, calls=calls_t)
+
+
+def _is_type_checking_test(test: ast.expr) -> bool:
+    name = dotted_name(test)
+    return name in ("TYPE_CHECKING", "typing.TYPE_CHECKING")
+
+
+def _annotation_is_classvar(node: ast.expr) -> bool:
+    text = ast.unparse(node)
+    return "ClassVar" in text
+
+
+def _param_from_arg(arg: ast.arg,
+                    default: Optional[ast.expr]) -> ParamInfo:
+    annotation = ast.unparse(arg.annotation) if arg.annotation else None
+    return ParamInfo(name=arg.arg, annotation=annotation,
+                     has_default=default is not None,
+                     default_is_none=_is_none(default))
+
+
+def _signature_params(node: ast.AST, drop_self: bool) -> List[ParamInfo]:
+    """Declared parameters with default alignment (excluding *args)."""
+    assert isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+    args = node.args
+    positional = list(args.posonlyargs) + list(args.args)
+    defaults: List[Optional[ast.expr]] = (
+        [None] * (len(positional) - len(args.defaults))
+        + list(args.defaults))
+    params = [_param_from_arg(arg, default)
+              for arg, default in zip(positional, defaults)]
+    params.extend(_param_from_arg(arg, default)
+                  for arg, default in zip(args.kwonlyargs,
+                                          args.kw_defaults))
+    if drop_self and params and params[0].name in ("self", "cls"):
+        params = params[1:]
+    return params
+
+
+class _ModuleExtractor:
+    """Single pass over one module's AST, accumulating the model."""
+
+    def __init__(self, module: str, path: str) -> None:
+        self.module = module
+        self.path = path
+        self.package = module  # adjusted by extract() for non-packages
+        self.imports: List[ImportedName] = []
+        self.functions: Dict[str, FunctionInfo] = {}
+        self.classes: Dict[str, ClassInfo] = {}
+        self.calls: List[CallSite] = []
+        self.bindings: Dict[str, str] = {}
+        self._scope: List[str] = []        # enclosing def/class names
+        self._function_depth = 0
+
+    # -- statement walk ------------------------------------------------------
+
+    def walk(self, stmts: Sequence[ast.stmt],
+             type_checking: bool = False) -> None:
+        for stmt in stmts:
+            self._statement(stmt, type_checking)
+
+    def _statement(self, stmt: ast.stmt, type_checking: bool) -> None:
+        if isinstance(stmt, ast.Import):
+            self._plain_import(stmt, type_checking)
+        elif isinstance(stmt, ast.ImportFrom):
+            self._from_import(stmt, type_checking)
+        elif isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            self._function(stmt)
+        elif isinstance(stmt, ast.ClassDef):
+            self._class(stmt)
+        elif isinstance(stmt, ast.If) and \
+                _is_type_checking_test(stmt.test):
+            self.walk(stmt.body, type_checking=True)
+            self.walk(stmt.orelse, type_checking=type_checking)
+        elif isinstance(stmt, (ast.Assign, ast.AnnAssign)):
+            self._assignment(stmt)
+        else:
+            # Compound statements (if/for/while/with/try) may nest any
+            # of the above; expressions inside carry the call sites.
+            for child_stmts in _nested_bodies(stmt):
+                self.walk(child_stmts, type_checking)
+            for expr in _own_expressions(stmt):
+                self._expression(expr)
+
+    # -- imports -------------------------------------------------------------
+
+    def _plain_import(self, stmt: ast.Import,
+                      type_checking: bool) -> None:
+        lazy = self._function_depth > 0
+        for alias in stmt.names:
+            if alias.asname:
+                local, target = alias.asname, alias.name
+            else:
+                local = target = alias.name.split(".")[0]
+            record = ImportedName(
+                local=local, target=target, module=alias.name,
+                lineno=stmt.lineno, lazy=lazy,
+                type_checking=type_checking)
+            self.imports.append(record)
+            if not lazy:
+                self.bindings.setdefault(local, target)
+
+    def _from_import(self, stmt: ast.ImportFrom,
+                     type_checking: bool) -> None:
+        lazy = self._function_depth > 0
+        base = self._resolve_relative(stmt.module, stmt.level)
+        if base is None:
+            return
+        for alias in stmt.names:
+            if alias.name == "*":
+                record = ImportedName(
+                    local="*", target=f"{base}.*", module=base,
+                    lineno=stmt.lineno, lazy=lazy,
+                    type_checking=type_checking)
+                self.imports.append(record)
+                continue
+            local = alias.asname or alias.name
+            record = ImportedName(
+                local=local, target=f"{base}.{alias.name}", module=base,
+                lineno=stmt.lineno, lazy=lazy,
+                type_checking=type_checking)
+            self.imports.append(record)
+            if not lazy:
+                self.bindings.setdefault(local, record.target)
+
+    def _resolve_relative(self, module: Optional[str],
+                          level: int) -> Optional[str]:
+        if level == 0:
+            return module
+        anchor = self.package.split(".")
+        drop = level - 1
+        if drop:
+            if drop >= len(anchor):
+                return None
+            anchor = anchor[:-drop]
+        if module:
+            anchor = anchor + module.split(".")
+        return ".".join(anchor) if anchor else None
+
+    # -- definitions ---------------------------------------------------------
+
+    def _function(self, node: ast.AST) -> None:
+        assert isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+        in_class = bool(self._scope) and self._scope[-1] in self.classes
+        qualname = ".".join(self._scope + [node.name])
+        params = _signature_params(node, drop_self=in_class)
+        rng_sources = {p.name for p in params
+                       if p.name == "rng" or p.name.endswith("_rng")
+                       or (p.annotation and "Generator" in p.annotation)}
+        self.functions[qualname] = FunctionInfo(
+            qualname=qualname, lineno=node.lineno,
+            params=tuple(params), is_method=in_class,
+            rng_sources=tuple(sorted(rng_sources)))
+        if not self._scope:
+            self.bindings.setdefault(
+                node.name, f"{self.module}.{node.name}")
+        for decorator in node.decorator_list:
+            self._expression(decorator)
+        self._scope.append(node.name)
+        self._function_depth += 1
+        self.walk(node.body)
+        self._function_depth -= 1
+        self._scope.pop()
+        self._finalize_function(qualname)
+
+    def _finalize_function(self, qualname: str) -> None:
+        """Fill call-derived facts once the body has been walked."""
+        info = self.functions[qualname]
+        prefix = qualname + "."
+        sources = set(info.rng_sources)
+        calls_resolve = False
+        for call in self.calls:
+            if call.in_function != qualname and \
+                    not call.in_function.startswith(prefix):
+                continue
+            leaf = _leaf(call.func) if call.func else ""
+            if leaf == "resolve_rng" and call.in_function == qualname:
+                calls_resolve = True
+            if leaf in RNG_PRODUCERS and call.bound_to:
+                sources.add(call.bound_to)
+        self.functions[qualname] = FunctionInfo(
+            qualname=info.qualname, lineno=info.lineno,
+            params=info.params, is_method=info.is_method,
+            calls_resolve_rng=calls_resolve,
+            rng_sources=tuple(sorted(sources)))
+
+    def _class(self, node: ast.ClassDef) -> None:
+        qualname = ".".join(self._scope + [node.name])
+        is_dataclass = any(
+            _leaf(dotted_name(d) or "") == "dataclass"
+            or (isinstance(d, ast.Call)
+                and _leaf(dotted_name(d.func) or "") == "dataclass")
+            for d in node.decorator_list)
+        if not self._scope:
+            self.bindings.setdefault(
+                node.name, f"{self.module}.{node.name}")
+        # Register before walking so methods see themselves as such.
+        self.classes[qualname] = ClassInfo(
+            name=qualname, lineno=node.lineno, is_dataclass=is_dataclass)
+        fields: List[ParamInfo] = []
+        for stmt in node.body:
+            if is_dataclass and isinstance(stmt, ast.AnnAssign) and \
+                    isinstance(stmt.target, ast.Name) and \
+                    not _annotation_is_classvar(stmt.annotation):
+                fields.append(ParamInfo(
+                    name=stmt.target.id,
+                    annotation=ast.unparse(stmt.annotation),
+                    has_default=stmt.value is not None,
+                    default_is_none=_is_none(stmt.value)))
+        for decorator in node.decorator_list:
+            self._expression(decorator)
+        self._scope.append(node.name)
+        self.walk(node.body)
+        self._scope.pop()
+        methods = tuple(sorted(
+            q for q in self.functions if q.startswith(qualname + ".")))
+        if not is_dataclass:
+            init = self.functions.get(f"{qualname}.__init__")
+            fields = list(init.params) if init else []
+        self.classes[qualname] = ClassInfo(
+            name=qualname, lineno=node.lineno,
+            is_dataclass=is_dataclass, fields=tuple(fields),
+            methods=methods)
+
+    # -- expressions & assignments -------------------------------------------
+
+    def _assignment(self, stmt: ast.stmt) -> None:
+        assert isinstance(stmt, (ast.Assign, ast.AnnAssign))
+        value = stmt.value
+        bound_to: Optional[str] = None
+        if isinstance(stmt, ast.Assign):
+            if len(stmt.targets) == 1 and \
+                    isinstance(stmt.targets[0], ast.Name):
+                bound_to = stmt.targets[0].id
+        elif isinstance(stmt.target, ast.Name):
+            bound_to = stmt.target.id
+        if value is None:
+            return
+        if isinstance(value, ast.Call):
+            self._record_call(value, bound_to=bound_to)
+            for arg_expr in _call_operands(value):
+                self._expression(arg_expr)
+        else:
+            self._expression(value)
+
+    def _expression(self, expr: ast.expr) -> None:
+        """Record every call expression nested anywhere in ``expr``."""
+        for child in ast.walk(expr):
+            if isinstance(child, ast.Call):
+                self._record_call(child)
+
+    def _record_call(self, node: ast.Call,
+                     bound_to: Optional[str] = None) -> None:
+        func = dotted_name(node.func) or ""
+        args = tuple(describe_value(a) for a in node.args
+                     if not isinstance(a, ast.Starred))
+        keywords = tuple(
+            (kw.arg or "**", describe_value(kw.value))
+            for kw in node.keywords)
+        self.calls.append(CallSite(
+            func=func, lineno=node.lineno, col=node.col_offset,
+            args=args, keywords=keywords, bound_to=bound_to,
+            in_function=".".join(self._scope)))
+
+def _call_operands(node: ast.Call) -> List[ast.expr]:
+    operands: List[ast.expr] = []
+    operands.extend(a.value if isinstance(a, ast.Starred) else a
+                    for a in node.args)
+    operands.extend(kw.value for kw in node.keywords)
+    return operands
+
+
+def _nested_bodies(stmt: ast.stmt) -> List[List[ast.stmt]]:
+    bodies = []
+    for name in ("body", "orelse", "finalbody"):
+        block = getattr(stmt, name, None)
+        if block and isinstance(block[0], ast.stmt):
+            bodies.append(block)
+    for handler in getattr(stmt, "handlers", []):
+        bodies.append(handler.body)
+    return bodies
+
+
+def _own_expressions(stmt: ast.stmt) -> List[ast.expr]:
+    """Expressions held directly by a statement (not via nested blocks)."""
+    exprs = []
+    for field_name, value in ast.iter_fields(stmt):
+        if field_name in ("body", "orelse", "finalbody", "handlers"):
+            continue
+        if isinstance(value, ast.expr):
+            exprs.append(value)
+        elif isinstance(value, list):
+            for item in value:
+                if isinstance(item, ast.expr):
+                    exprs.append(item)
+                elif isinstance(item, ast.withitem):
+                    exprs.append(item.context_expr)
+                    if item.optional_vars is not None:
+                        exprs.append(item.optional_vars)
+    return exprs
+
+
+def extract_module(path: str, source: str, sha: str) -> ModuleInfo:
+    """Parse and distill one file (raises ``SyntaxError`` unparsable)."""
+    tree = ast.parse(source, filename=path)
+    module = module_name_for(path)
+    extractor = _ModuleExtractor(module, path)
+    if not path.replace("\\", "/").endswith("__init__.py"):
+        extractor.package = module.rsplit(".", 1)[0] \
+            if "." in module else module
+    extractor.walk(tree.body)
+    return ModuleInfo(
+        module=module, path=path, sha=sha,
+        imports=tuple(extractor.imports),
+        functions=extractor.functions,
+        classes=extractor.classes,
+        calls=tuple(extractor.calls),
+        bindings=extractor.bindings,
+        suppressions=parse_noqa(source))

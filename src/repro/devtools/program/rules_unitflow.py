@@ -1,0 +1,194 @@
+"""X-series: interprocedural unit flow at call sites.
+
+The per-file ``U001`` rule can only compare a keyword's name against
+the variable passed into it.  With the project index the analyzer
+knows every *callee's* declared parameter suffixes, so it can check
+positional arguments, cross-module calls, the dB-vs-linear domain of
+the ``repro.optics.units`` converters, and the unit of the name a
+call's result is bound to.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, Optional, Tuple
+
+from ..findings import Finding
+from ..visitors import unit_suffix
+from .index import ProjectIndex, ResolvedCallee
+from .model import CallSite, ModuleInfo, ValueDesc
+from .registry import ProgramRule, register_program_rule
+
+#: The sanctioned converters and their (input, output) unit domains.
+#: ``None`` marks a dimensionless power *ratio* — the one quantity that
+#: must never carry a power suffix.
+CONVERTER_DOMAINS: Dict[str, Tuple[Optional[str], Optional[str]]] = {
+    "repro.optics.units.dbm_to_mw": ("_dbm", "_mw"),
+    "repro.optics.units.mw_to_dbm": ("_mw", "_dbm"),
+    "repro.optics.units.db_to_linear": ("_db", None),
+    "repro.optics.units.linear_to_db": (None, "_db"),
+}
+
+#: Suffixes that denote a power quantity (absolute or relative); these
+#: are the ones that must not be fed into a ratio slot.
+_POWER_SUFFIXES = frozenset({"_dbm", "_mw", "_db"})
+
+
+def _leaf(dotted: str) -> str:
+    return dotted.rsplit(".", 1)[-1]
+
+
+@register_program_rule
+class CallSiteUnitRule(ProgramRule):
+    """X001: argument suffixes must match parameter suffixes."""
+
+    rule_id = "X001"
+    summary = ("at resolved call sites, a unit-suffixed argument must "
+               "match the callee parameter's unit suffix "
+               "(positional and keyword)")
+
+    def check(self, index: ProjectIndex) -> Iterator[Finding]:
+        for module in sorted(index.modules):
+            info = index.modules[module]
+            for call in info.calls:
+                callee = index.resolve_call(module, call)
+                if callee is None:
+                    continue
+                yield from self._check_call(info, call, callee, index)
+
+    def _check_call(self, info: ModuleInfo, call: CallSite,
+                    callee: ResolvedCallee,
+                    index: ProjectIndex) -> Iterator[Finding]:
+        param_names, _ = index.constructor_params(callee)
+        for position, value in enumerate(call.args):
+            if position >= len(param_names):
+                break
+            yield from self._compare(info, call, callee,
+                                     param_names[position], value)
+        for keyword, value in call.keywords:
+            if keyword == "**" or keyword not in param_names:
+                continue
+            yield from self._compare(info, call, callee, keyword,
+                                     value)
+
+    def _compare(self, info: ModuleInfo, call: CallSite,
+                 callee: ResolvedCallee, param: str,
+                 value: ValueDesc) -> Iterator[Finding]:
+        expected = unit_suffix(param)
+        actual = value.suffix
+        if expected is None or actual is None or expected == actual:
+            return
+        yield self.finding(
+            info, call.lineno, call.col,
+            f"{value.text or 'argument'} ({actual}) flows into "
+            f"parameter {param} ({expected}) of {callee.qualified}; "
+            "convert explicitly or rename one side")
+
+
+@register_program_rule
+class ConverterDomainRule(ProgramRule):
+    """X002: dB-vs-linear discipline through the units converters."""
+
+    rule_id = "X002"
+    summary = ("the repro.optics.units converters must be fed their "
+               "declared domain: no dBm/mW into a ratio slot, no "
+               "already-converted value back through the same "
+               "converter")
+
+    def check(self, index: ProjectIndex) -> Iterator[Finding]:
+        for module in sorted(index.modules):
+            info = index.modules[module]
+            for call in info.calls:
+                callee = index.resolve_call(module, call)
+                if callee is None or \
+                        callee.qualified not in CONVERTER_DOMAINS:
+                    continue
+                expected_in, expected_out = \
+                    CONVERTER_DOMAINS[callee.qualified]
+                converter = _leaf(callee.qualified)
+                value = self._input_value(call)
+                if value is not None and value.suffix is not None:
+                    yield from self._check_input(
+                        info, call, converter, expected_in, value)
+                if call.bound_to is not None:
+                    yield from self._check_output(
+                        info, call, converter, expected_out)
+
+    def _input_value(self, call: CallSite) -> Optional[ValueDesc]:
+        if call.args:
+            return call.args[0]
+        for _, value in call.keywords:
+            return value
+        return None
+
+    def _check_input(self, info: ModuleInfo, call: CallSite,
+                     converter: str, expected: Optional[str],
+                     value: ValueDesc) -> Iterator[Finding]:
+        actual = value.suffix
+        if expected is None:
+            # Ratio slot: any power suffix means dB/linear mixing.
+            if actual in _POWER_SUFFIXES:
+                yield self.finding(
+                    info, call.lineno, call.col,
+                    f"{value.text} ({actual}) passed into "
+                    f"{converter}(), which takes a dimensionless "
+                    "linear ratio; use the matching power converter "
+                    "or strip the unit explicitly")
+        elif actual != expected:
+            yield self.finding(
+                info, call.lineno, call.col,
+                f"{value.text} ({actual}) passed into {converter}(), "
+                f"which expects {expected}; this mixes the dB and "
+                "linear domains")
+
+    def _check_output(self, info: ModuleInfo, call: CallSite,
+                      converter: str,
+                      expected: Optional[str]) -> Iterator[Finding]:
+        bound = call.bound_to
+        if bound is None:
+            return
+        actual = unit_suffix(bound)
+        if actual is None:
+            return
+        if expected is None and actual in _POWER_SUFFIXES:
+            # Suffix-vs-suffix output mismatches (e.g. ``x_db =
+            # dbm_to_mw(...)``) are X003's domain; X002 owns only the
+            # ratio cases no name suffix can express.
+            yield self.finding(
+                info, call.lineno, call.col,
+                f"{converter}() returns a dimensionless ratio but its "
+                f"result is bound to {bound} ({actual}); the name "
+                "claims a power unit the value does not have")
+
+
+@register_program_rule
+class ReturnUnitRule(ProgramRule):
+    """X003: a call result must be bound to a matching unit name."""
+
+    rule_id = "X003"
+    summary = ("a function whose name carries a unit suffix returns "
+               "that unit; binding its result to a differently-"
+               "suffixed name is a silent conversion")
+
+    def check(self, index: ProjectIndex) -> Iterator[Finding]:
+        for module in sorted(index.modules):
+            info = index.modules[module]
+            for call in info.calls:
+                if call.bound_to is None or not call.func:
+                    continue
+                target_suffix = unit_suffix(call.bound_to)
+                if target_suffix is None:
+                    continue
+                callee = index.resolve_call(module, call)
+                if callee is not None:
+                    source_name = _leaf(callee.name)
+                else:
+                    source_name = _leaf(call.func)
+                source_suffix = unit_suffix(source_name)
+                if source_suffix is None or \
+                        source_suffix == target_suffix:
+                    continue
+                yield self.finding(
+                    info, call.lineno, call.col,
+                    f"result of {source_name}() ({source_suffix}) "
+                    f"bound to {call.bound_to} ({target_suffix}); "
+                    "convert explicitly or rename the binding")

@@ -2,12 +2,30 @@
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Iterator, List, Optional, Type
+from typing import (
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Protocol,
+    Type,
+    TypeVar,
+)
 
 from .context import FileContext
 from .findings import Finding
 
 _REGISTRY: Dict[str, "Rule"] = {}
+
+
+class HasRuleId(Protocol):
+    """Anything selectable by rule id (lint rules, program rules)."""
+
+    rule_id: str
+
+
+_AnyRule = TypeVar("_AnyRule", bound=HasRuleId)
 
 
 class Rule:
@@ -64,17 +82,19 @@ def get_rule(rule_id: str) -> Rule:
     return _REGISTRY[rule_id.upper()]
 
 
-def resolve_selection(select: Optional[Iterable[str]] = None,
-                      ignore: Optional[Iterable[str]] = None) -> List[Rule]:
+def apply_selection(rules: List["_AnyRule"],
+                    select: Optional[Iterable[str]] = None,
+                    ignore: Optional[Iterable[str]] = None
+                    ) -> List["_AnyRule"]:
     """Apply flake8-style ``--select`` / ``--ignore`` prefix lists.
 
     Entries match by prefix, so ``D`` selects every determinism rule
     and ``D001`` exactly one.  Unknown entries (matching no registered
     rule) raise ``ValueError`` so typos fail loudly instead of
-    silently linting nothing.
+    silently linting nothing.  Works for any rule set that carries
+    ``rule_id`` attributes — the per-file lint rules and the
+    whole-program analysis rules share this resolver.
     """
-    rules = all_rules()
-
     def expand(entries: Iterable[str]) -> List[str]:
         prefixes = []
         for entry in entries:
@@ -96,3 +116,9 @@ def resolve_selection(select: Optional[Iterable[str]] = None,
         selected = [r for r in selected
                     if not any(r.rule_id.startswith(p) for p in prefixes)]
     return selected
+
+
+def resolve_selection(select: Optional[Iterable[str]] = None,
+                      ignore: Optional[Iterable[str]] = None) -> List[Rule]:
+    """``apply_selection`` over the registered per-file lint rules."""
+    return apply_selection(all_rules(), select=select, ignore=ignore)

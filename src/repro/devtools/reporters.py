@@ -43,3 +43,28 @@ def to_payload(result: LintResult) -> Dict[str, Any]:
 def render_json(result: LintResult) -> str:
     """Deterministically ordered JSON (sorted findings, sorted keys)."""
     return json.dumps(to_payload(result), indent=2, sort_keys=True)
+
+
+def _escape_workflow_data(text: str) -> str:
+    """GitHub workflow-command escaping for the message portion."""
+    return (text.replace("%", "%25")
+                .replace("\r", "%0D")
+                .replace("\n", "%0A"))
+
+
+def render_github(result: LintResult) -> str:
+    """GitHub Actions ``::error`` workflow annotations, one per finding.
+
+    Emitted to stdout during a CI run, these surface as inline
+    annotations on the PR diff.  The trailing summary line is plain
+    text (GitHub ignores lines that are not workflow commands).
+    """
+    lines = [
+        f"::error file={f.path},line={f.line},col={f.column},"
+        f"title={f.rule_id}::{_escape_workflow_data(f.message)}"
+        for f in result.findings
+    ]
+    lines.append(f"{len(result.findings)} finding"
+                 f"{'s' if len(result.findings) != 1 else ''} in "
+                 f"{result.files_checked} files")
+    return "\n".join(lines)

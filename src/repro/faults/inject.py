@@ -20,6 +20,7 @@ from typing import List, Optional, Sequence, Tuple
 import numpy as np
 
 from ..core import PointingCommand
+from ..determinism import resolve_rng
 from ..geometry import RigidTransform
 from ..link.channel import AlignmentState
 from ..link.design import NOISE_FLOOR_DBM
@@ -58,7 +59,7 @@ class FaultInjector:
                  seed: int = 0, log: Optional[EventLog] = None):
         self.log = log if log is not None else EventLog()
         self.duration_s = float(duration_s)
-        rng = np.random.default_rng(seed)
+        rng = resolve_rng(seed=seed, owner="FaultInjector")
         self._rng = rng
 
         self._dropouts: List[_WindowTimeline] = []

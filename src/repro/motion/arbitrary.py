@@ -15,6 +15,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..determinism import resolve_rng
 from ..geometry import rotation_matrix
 from ..vrh import Pose
 
@@ -56,7 +57,7 @@ class HandheldProfile:
             raise ValueError("peak speeds cannot be negative")
         if not 0.0 <= self.ramp_start_fraction <= 1.0:
             raise ValueError("ramp start fraction must be in [0, 1]")
-        rng = np.random.default_rng(self.seed)
+        rng = resolve_rng(seed=self.seed, owner="HandheldProfile")
         self._position_axes = [_component_set(rng) for _ in range(3)]
         self._rotation_axes = [_component_set(rng) for _ in range(3)]
 

@@ -35,6 +35,7 @@ except ImportError:  # pragma: no cover - exercised only without scipy
     _lfilter = None
 
 from .. import constants
+from ..determinism import derive
 from ..geometry import euler_to_matrix
 from ..parallel import parallel_map
 from ..vrh import Pose
@@ -210,8 +211,7 @@ def generate_trace(viewer: int, video: int,
     activity multipliers, giving each viewer a temperament and each
     video a pace.
     """
-    rng = np.random.default_rng(
-        np.random.SeedSequence([seed, viewer, video]))
+    rng = derive(seed, viewer, video)
     n = int(round(duration_s / dt_s)) + 1
     viewer_activity = rng.lognormal(0.0, profile.activity_sigma)
     video_activity = rng.lognormal(0.0, profile.activity_sigma)

@@ -19,6 +19,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..determinism import resolve_rng
 from ..geometry import rotation_matrix
 from ..vrh import Pose
 
@@ -44,7 +45,7 @@ class VibrationOverlay:
             raise ValueError("vibration frequency must be positive")
         if self.linear_amplitude_m < 0 or self.angular_amplitude_rad < 0:
             raise ValueError("amplitudes cannot be negative")
-        rng = np.random.default_rng(self.seed)
+        rng = resolve_rng(seed=self.seed, owner="VibrationOverlay")
         self._phases = rng.uniform(0.0, 2.0 * np.pi, size=6)
 
     @property

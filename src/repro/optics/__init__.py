@@ -25,6 +25,7 @@ from .safety import (
 from .sfp import SFP28_LR, SFP_10G_ZR, Sfp
 from .units import (
     MIN_POWER_DBM,
+    MIN_RATIO_DB,
     apply_gain_dbm,
     db_to_linear,
     dbm_to_mw,
@@ -45,6 +46,7 @@ __all__ = [
     "GaussianBeam",
     "LinkBudget",
     "MIN_POWER_DBM",
+    "MIN_RATIO_DB",
     "PUPIL_DIAMETER_M",
     "QuadPhotodiode",
     "SafetyReport",

@@ -11,6 +11,11 @@ import math
 #: Floor used when converting a non-positive linear power to dBm.
 MIN_POWER_DBM = -200.0
 
+#: Floor used when converting a non-positive linear *ratio* to dB.
+#: Same magnitude as :data:`MIN_POWER_DBM` but a different quantity:
+#: a dimensionless gain/loss, not an absolute power level.
+MIN_RATIO_DB = -200.0
+
 
 def dbm_to_mw(dbm: float) -> float:
     """Convert power in dBm to milliwatts."""
@@ -34,9 +39,13 @@ def db_to_linear(db: float) -> float:
 
 
 def linear_to_db(ratio: float) -> float:
-    """Convert a linear power ratio to dB (floored like ``mw_to_dbm``)."""
+    """Convert a linear power ratio to dB.
+
+    Zero or negative ratios map to :data:`MIN_RATIO_DB` rather than
+    raising -- total extinction is "infinite loss", not an error.
+    """
     if ratio <= 0.0:
-        return MIN_POWER_DBM
+        return MIN_RATIO_DB
     return 10.0 * math.log10(ratio)
 
 

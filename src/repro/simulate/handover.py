@@ -28,6 +28,7 @@ from ..core import LearnedSystem, point
 from ..core.gma import GmaModel
 from ..core.inverse import InverseDivergedError
 from ..core.pointing import PointingDivergedError
+from ..determinism import resolve_rng, spawn
 from ..galvo import GalvoHardware
 from ..geometry import rotation_between
 from ..link import NOISE_FLOOR_DBM, FsoChannel
@@ -80,7 +81,7 @@ class MultiTxRig:
         self.testbed = Testbed(seed=seed, geometry="ceiling")
         self.tx_assemblies: List[TxAssembly] = [
             self.testbed.tx_assembly]
-        rng = np.random.default_rng(seed + 1000)
+        rng = resolve_rng(seed=seed + 1000, owner="MultiTxRig")
         rx_mirror_home = HOME_POSITION + RX_MIRROR_BODY
         for i in range(1, tx_count):
             # Extra units around the first, aimed at the play area.
@@ -96,7 +97,7 @@ class MultiTxRig:
             placement = _placement_to(aim, params.q2, position)
             hardware = GalvoHardware(
                 params, nonlinearity=self.testbed.nonlinearity,
-                rng=np.random.default_rng(rng.integers(2 ** 63)))
+                rng=spawn(rng))
             self.tx_assemblies.append(TxAssembly(hardware, placement))
         self.channels = [
             FsoChannel(self.testbed.design, tx, self.testbed.rx_assembly)

@@ -37,6 +37,7 @@ from ..core import (
     interior_grid_points,
     point,
 )
+from ..determinism import resolve_rng, spawn
 from ..galvo import GalvoHardware, GmaParams, canonical_gma
 from ..geometry import (
     RigidTransform,
@@ -128,7 +129,7 @@ class Testbed:
             raise ValueError(f"unknown geometry {self.geometry!r}; "
                              f"use 'bench' or 'ceiling'")
         self.tx_mirror_world = tx_mirror_world
-        rng = np.random.default_rng(self.seed)
+        rng = resolve_rng(seed=self.seed, owner="Testbed")
         self.rng = rng
         theta1 = np.radians(1.0)  # 1 deg mechanical per volt (GVS102)
 
@@ -143,11 +144,9 @@ class Testbed:
         tx_truth = _perturbed_params(base, rng, 1e-3, np.radians(0.5), 0.01)
         rx_truth = _perturbed_params(base, rng, 1e-3, np.radians(0.5), 0.01)
         self.tx_hardware = GalvoHardware(
-            tx_truth, nonlinearity=self.nonlinearity,
-            rng=np.random.default_rng(rng.integers(2 ** 63)))
+            tx_truth, nonlinearity=self.nonlinearity, rng=spawn(rng))
         self.rx_hardware = GalvoHardware(
-            rx_truth, nonlinearity=self.nonlinearity,
-            rng=np.random.default_rng(rng.integers(2 ** 63)))
+            rx_truth, nonlinearity=self.nonlinearity, rng=spawn(rng))
 
         # Deployment placements.  Each mount is oriented so the GMA's
         # rest beam (zero volts) points at the other terminal's nominal
@@ -185,8 +184,7 @@ class Testbed:
             euler_to_matrix(*rng.normal(0.0, 0.08, size=3)),
             rng.normal(0.0, 0.04, size=3))
         self.tracker = VrhTracker(
-            self.vr_from_world, self.x_offset,
-            rng=np.random.default_rng(rng.integers(2 ** 63)))
+            self.vr_from_world, self.x_offset, rng=spawn(rng))
 
         self.home_pose = Pose(HOME_POSITION.copy(), np.eye(3))
 
@@ -298,9 +296,7 @@ class Testbed:
         models = {}
         for name, hardware in (("tx", self.tx_hardware),
                                ("rx", self.rx_hardware)):
-            rig = BoardRig(hardware,
-                           rng=np.random.default_rng(
-                               self.rng.integers(2 ** 63)))
+            rig = BoardRig(hardware, rng=spawn(self.rng))
             guess = _perturbed_params(hardware.params, self.rng,
                                       3e-3, np.radians(1.0), 0.01)
             models[name] = fit_gma(rig.collect_samples(grid), guess)

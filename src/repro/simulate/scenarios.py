@@ -58,11 +58,12 @@ def _fig11_quick() -> Dict[str, float]:
 
 def _table2_quick(seed: int = 55) -> Dict[str, float]:
     from ..core import BoardRig, evaluate_fit, interior_grid_points
+    from ..determinism import resolve_rng
     from .rig import Testbed
     testbed = Testbed(seed=3)
     outcome = testbed.calibrate()
     rig = BoardRig(testbed.tx_hardware,
-                   rng=np.random.default_rng(seed))
+                   rng=resolve_rng(seed=seed, owner="_table2_quick"))
     holdout = interior_grid_points()[:30] + np.array([0.0127, 0.0127])
     errors = evaluate_fit(outcome.tx_kspace_model, rig, holdout)
     return {

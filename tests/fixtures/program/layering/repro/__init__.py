@@ -1,0 +1,1 @@
+"""Layering fixture: a tiny repro-shaped tree with L-series bugs."""

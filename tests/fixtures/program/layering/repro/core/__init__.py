@@ -1,0 +1,7 @@
+"""Half of a same-layer module-level import cycle: L002."""
+
+from ..link import design
+
+
+def point():
+    return design

@@ -1,0 +1,3 @@
+"""A subpackage nobody added to the LAYERS contract: L003."""
+
+VALUE = 42

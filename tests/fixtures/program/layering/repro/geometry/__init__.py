@@ -1,0 +1,7 @@
+"""Device-layer module reaching UP into the experiment layer: L001."""
+
+from ..simulate import run
+
+
+def transformed():
+    return run()

@@ -1,0 +1,9 @@
+"""The other half of the core <-> link import cycle: L002."""
+
+from ..core import point
+
+design = 1
+
+
+def budget():
+    return point()

@@ -1,0 +1,5 @@
+"""Experiment-layer module; a legitimate top-of-stack resident."""
+
+
+def run():
+    return 1

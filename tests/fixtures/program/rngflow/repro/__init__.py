@@ -1,0 +1,1 @@
+"""RNG-flow fixture: a tiny repro-shaped tree with T-series bugs."""

@@ -1,0 +1,22 @@
+"""Fixture copy of the determinism contract (the sanctioned mint)."""
+
+import numpy as np
+
+
+def resolve_rng(rng=None, seed=None, deterministic=True,
+                owner="component"):
+    if rng is not None:
+        return rng
+    if seed is not None:
+        return np.random.default_rng(seed)
+    if deterministic:
+        raise ValueError(owner)
+    return np.random.default_rng()
+
+
+def spawn(rng):
+    return np.random.default_rng(rng.integers(2 ** 63))
+
+
+def derive(*keys):
+    return np.random.default_rng(np.random.SeedSequence(list(keys)))

@@ -1,0 +1,5 @@
+"""Fixture stand-in for the process-pool map."""
+
+
+def parallel_map(fn, items, workers=None, chunk_size=None):
+    return [fn(item) for item in items]

@@ -1,0 +1,1 @@
+"""Experiment layer of the rngflow fixture."""

@@ -1,0 +1,28 @@
+"""One of each T-series violation."""
+
+import numpy as np
+
+from ..determinism import resolve_rng
+from ..parallel import parallel_map
+
+
+class Tracker:
+    """A stochastic sink: its constructor resolves an RNG."""
+
+    def __init__(self, rng=None, seed=None):
+        self.rng = resolve_rng(rng=rng, seed=seed, owner="Tracker")
+
+
+def minted():
+    # T001: a generator minted outside repro.determinism.
+    return np.random.default_rng(7)
+
+
+def fan_out(rng, jobs):
+    # T002: the callable captures a generator across the pool boundary.
+    return parallel_map(lambda job: rng.normal() + job, jobs)
+
+
+def build():
+    # T003: a stochastic sink invoked with no rng/seed threaded.
+    return Tracker()

@@ -1,0 +1,1 @@
+"""Unit-flow fixture: a tiny repro-shaped tree with X-series bugs."""

@@ -1,0 +1,26 @@
+"""Link-layer consumer with one of each X-series violation."""
+
+from ..optics.units import db_to_linear, linear_to_db, mw_to_dbm
+
+
+def attenuate(power_mw, loss_db):
+    return power_mw * 10.0 ** (-loss_db / 10.0)
+
+
+def report(tx_dbm, loss_db):
+    # X001: a dBm value flows into the mW-suffixed parameter.
+    return attenuate(tx_dbm, loss_db)
+
+
+def mixed_domains(power_mw, margin_db):
+    # X002 (input): a power quantity fed into the ratio slot.
+    bad_ratio = linear_to_db(power_mw)
+    # X002 (output): a linear ratio bound to a dB-suffixed name.
+    gain_db = db_to_linear(margin_db)
+    return bad_ratio, gain_db
+
+
+def silent_conversion(tx_mw):
+    # X003: a _dbm-returning call bound to a _mw name.
+    power_mw = mw_to_dbm(tx_mw)
+    return power_mw

@@ -1,0 +1,3 @@
+from .units import db_to_linear, dbm_to_mw, linear_to_db, mw_to_dbm
+
+__all__ = ["db_to_linear", "dbm_to_mw", "linear_to_db", "mw_to_dbm"]

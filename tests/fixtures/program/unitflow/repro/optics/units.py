@@ -1,0 +1,21 @@
+"""Fixture copies of the sanctioned unit converters."""
+
+
+def dbm_to_mw(power_dbm):
+    return 10.0 ** (power_dbm / 10.0)
+
+
+def mw_to_dbm(power_mw):
+    return 10.0 * _log10(power_mw)
+
+
+def db_to_linear(gain_db):
+    return 10.0 ** (gain_db / 10.0)
+
+
+def linear_to_db(ratio):
+    return 10.0 * _log10(ratio)
+
+
+def _log10(value):
+    return value  # stand-in; fixtures are parsed, never executed

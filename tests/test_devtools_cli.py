@@ -93,6 +93,33 @@ def test_ignore_flag_drops_rule():
     assert proc.returncode == 0
 
 
+def test_waiver_budget_exceeded_fails():
+    proc = run_lint_cli(str(FIXTURES / "repro/core/noqa_demo.py"),
+                        "--max-waivers", "0")
+    assert proc.returncode == 1
+    assert "waiver budget exceeded" in proc.stdout
+
+
+def test_waiver_budget_met_passes():
+    proc = run_lint_cli(str(FIXTURES / "repro/core/noqa_demo.py"),
+                        "--max-waivers", "1")
+    assert proc.returncode == 0, proc.stdout + proc.stderr
+
+
+def test_src_repro_within_waiver_budget():
+    """CI gate: the real tree stays at (or below) one justified waiver."""
+    proc = run_lint_cli(str(SRC_REPRO), "--max-waivers", "1")
+    assert proc.returncode == 0, proc.stdout + proc.stderr
+
+
+def test_github_format_emits_error_annotations():
+    proc = run_lint_cli(str(FIXTURES / "repro/core/d001_tp.py"),
+                        "--select", "D001", "--format", "github")
+    assert proc.returncode == 1
+    assert "::error file=" in proc.stdout
+    assert "title=D001" in proc.stdout
+
+
 def test_src_repro_tree_lints_clean():
     """The PR's headline gate: zero findings over the real package."""
     result = lint_paths([SRC_REPRO])

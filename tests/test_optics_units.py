@@ -4,6 +4,7 @@ import pytest
 
 from repro.optics import (
     MIN_POWER_DBM,
+    MIN_RATIO_DB,
     apply_gain_dbm,
     db_to_linear,
     dbm_to_mw,
@@ -38,7 +39,13 @@ class TestDbRatios:
             assert linear_to_db(db_to_linear(db)) == pytest.approx(db)
 
     def test_zero_ratio_floors(self):
-        assert linear_to_db(0.0) == MIN_POWER_DBM
+        assert linear_to_db(0.0) == MIN_RATIO_DB
+        assert linear_to_db(-1.0) == MIN_RATIO_DB
+
+    def test_ratio_floor_is_its_own_quantity(self):
+        # Same magnitude today, but a dB ratio is not a dBm level;
+        # the two floors must be independently importable.
+        assert MIN_RATIO_DB == MIN_POWER_DBM == -200.0
 
 
 class TestApplyGain:

@@ -1,7 +1,10 @@
 """Unit tests for the deterministic chunked process-pool map."""
 
+import concurrent.futures
+
 import pytest
 
+from repro.determinism import derive
 from repro.parallel import (
     chunk_items,
     default_workers,
@@ -16,6 +19,11 @@ def square(x):
 
 def explode(x):
     raise RuntimeError("worker failure")
+
+
+def noisy_sum(seed):
+    """A float pipeline whose bits would expose any stream fork."""
+    return float(derive(seed).standard_normal(8).sum())
 
 
 class TestChunking:
@@ -80,3 +88,70 @@ class TestParallelMap:
 
     def test_default_workers_positive(self):
         assert default_workers() >= 1
+
+
+class TestSerialFallback:
+    """The silent serial fallback, proven rather than assumed."""
+
+    def test_lambda_fallback_runs_in_this_process(self):
+        # A lambda cannot reach the workers, so every call must land
+        # in the parent process -- observable through a closure.
+        calls = []
+
+        def tag(x):
+            calls.append(x)
+            return x + 1
+
+        items = list(range(10))
+        assert parallel_map(tag, items, workers=4) == \
+            [x + 1 for x in items]
+        assert calls == items  # in order, once each, in-process
+
+    def test_broken_pool_falls_back(self, monkeypatch):
+        attempts = []
+
+        class BrokenPool:
+            def __init__(self, max_workers=None):
+                attempts.append(max_workers)
+                raise OSError("no processes allowed here")
+
+        monkeypatch.setattr(concurrent.futures,
+                            "ProcessPoolExecutor", BrokenPool)
+        items = list(range(12))
+        assert parallel_map(square, items, workers=4) == \
+            [x * x for x in items]
+        assert attempts  # the pool WAS attempted: fallback exercised
+
+    def test_pool_that_dies_mid_map_falls_back(self, monkeypatch):
+        class DyingPool:
+            def __init__(self, max_workers=None):
+                pass
+
+            def __enter__(self):
+                return self
+
+            def __exit__(self, *exc):
+                return False
+
+            def map(self, fn, *iterables):
+                raise concurrent.futures.process.BrokenProcessPool(
+                    "worker crashed")
+
+        monkeypatch.setattr(concurrent.futures,
+                            "ProcessPoolExecutor", DyingPool)
+        items = list(range(7))
+        assert parallel_map(square, items, workers=2) == \
+            [x * x for x in items]
+
+    def test_fallback_is_byte_identical_to_serial(self, monkeypatch):
+        seeds = list(range(20))
+        serial = parallel_map(noisy_sum, seeds, workers=1)
+
+        class BrokenPool:
+            def __init__(self, max_workers=None):
+                raise OSError("no processes allowed here")
+
+        monkeypatch.setattr(concurrent.futures,
+                            "ProcessPoolExecutor", BrokenPool)
+        fallen_back = parallel_map(noisy_sum, seeds, workers=4)
+        assert fallen_back == serial  # exact float equality, not approx
