@@ -8,6 +8,7 @@ experiment harnesses above those, and tooling on top:
 layer  packages
 ====== =========================================================
 0      ``constants`` ``determinism`` ``parallel`` ``reporting``
+       ``store``
 1      ``geometry`` ``optics`` ``galvo`` ``vrh`` ``net`` ``stream``
 2      ``core`` ``link``
 3      ``motion`` ``plan`` ``analysis``
@@ -36,7 +37,7 @@ from .registry import ProgramRule, register_program_rule
 #: The layer DAG, as (layer name, members).  Index = height.
 LAYERS: Tuple[Tuple[str, Tuple[str, ...]], ...] = (
     ("foundation", ("constants", "determinism", "parallel",
-                    "reporting")),
+                    "reporting", "store")),
     ("device", ("geometry", "optics", "galvo", "vrh", "net",
                 "stream")),
     ("pipeline", ("core", "link")),

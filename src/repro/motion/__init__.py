@@ -20,6 +20,7 @@ from .traces import (
     generate_trace,
     resample_trace,
 )
+from .batch import TraceBatch, generate_batch
 
 __all__ = [
     "AngularStrokeProfile",
@@ -32,10 +33,12 @@ __all__ = [
     "SpeedSeries",
     "StaticProfile",
     "StrokeSchedule",
+    "TraceBatch",
     "TraceProfile",
     "VibrationOverlay",
     "VIDEO_360",
     "cdf",
+    "generate_batch",
     "generate_dataset",
     "generate_trace",
     "resample_trace",

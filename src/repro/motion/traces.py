@@ -286,13 +286,32 @@ def generate_dataset(viewers: int = 50, videos: int = 10,
                      profile: TraceProfile = VIDEO_360,
                      duration_s: float = constants.TRACE_DURATION_S,
                      seed: int = 2022,
-                     workers: Optional[int] = 1) -> List[HeadTrace]:
+                     workers: Optional[int] = 1,
+                     engine: str = "auto",
+                     store=None, group: str = "traces") -> List[HeadTrace]:
     """The full 500-trace dataset (viewers x videos), deterministic.
 
     Each trace's random stream is derived from ``(seed, viewer,
     video)`` and results merge back in (viewer, video) order, so the
-    dataset is byte-identical for any ``workers`` setting.
+    dataset is byte-identical for any ``workers`` setting — and for
+    either ``engine``.  ``engine="auto"`` (and ``"batch"``) routes
+    through :func:`repro.motion.batch.generate_batch`, which produces
+    the identical traces as zero-copy views of one corpus tensor;
+    ``engine="loop"`` keeps the original one-trace-at-a-time path.
+    Passing ``store=`` (a :class:`repro.store.ColumnStore`) persists
+    the corpus as column group ``group`` (batch engine only).
     """
+    if engine not in ("auto", "batch", "loop"):
+        raise ValueError("engine must be 'auto', 'batch' or 'loop'")
+    if engine in ("auto", "batch"):
+        from .batch import generate_batch  # local: avoids module cycle
+        batch = generate_batch(viewers=viewers, videos=videos,
+                               profile=profile, duration_s=duration_s,
+                               seed=seed, workers=workers,
+                               store=store, group=group)
+        return batch.traces()
+    if store is not None:
+        raise ValueError("store= requires the batch engine")
     ids = [(viewer, video) for viewer in range(viewers)
            for video in range(videos)]
     return parallel_map(

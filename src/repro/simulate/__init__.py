@@ -1,6 +1,7 @@
 """Evaluation harnesses: the testbed, live sessions, and trace replay."""
 
 from .availability import AvailabilityReport, report, simulate_dataset
+from .batch import BatchTimeslotResult, simulate_batch
 from .clustering import ClusteringReport, analyze
 from .handover import (
     HandoverController,
@@ -17,6 +18,7 @@ from .timeslot import TimeslotParams, TimeslotResult, simulate_trace
 
 __all__ = [
     "AvailabilityReport",
+    "BatchTimeslotResult",
     "CalibrationOutcome",
     "ClusteringReport",
     "HandoverController",
@@ -37,6 +39,7 @@ __all__ = [
     "get_scenario",
     "list_scenarios",
     "report",
+    "simulate_batch",
     "simulate_dataset",
     "simulate_trace",
     "sweep_seeds",

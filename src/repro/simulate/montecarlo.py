@@ -53,13 +53,20 @@ def _eval_seed(metric_fn: Callable[[int], Dict[str, float]],
 
 def sweep_seeds(metric_fn: Callable[[int], Dict[str, float]],
                 seeds: Sequence[int],
-                workers: Optional[int] = 1) -> Dict[str, MetricSummary]:
+                workers: Optional[int] = 1,
+                store=None,
+                group: str = "sweep") -> Dict[str, MetricSummary]:
     """Evaluate a per-seed metric dictionary across seeds.
 
     ``workers>1`` fans the seeds out over a process pool (``metric_fn``
     must then be picklable — a lambda degrades to the serial path); the
     per-seed dictionaries are merged in seed order either way, so the
     summaries are identical for any worker count.
+
+    Passing ``store=`` (a :class:`repro.store.ColumnStore`) persists
+    the sweep as column group ``group``: one ``seeds`` column plus one
+    per-seed value column per metric, so long sweeps are queryable
+    without rerunning the pipeline.
     """
     if not seeds:
         raise ValueError("need at least one seed")
@@ -69,8 +76,17 @@ def sweep_seeds(metric_fn: Callable[[int], Dict[str, float]],
     for metrics in per_seed:
         for name, value in metrics.items():
             collected.setdefault(name, []).append(float(value))
-    return {name: MetricSummary(name=name, values=np.array(values))
-            for name, values in collected.items()}
+    summaries = {name: MetricSummary(name=name, values=np.array(values))
+                 for name, values in collected.items()}
+    if store is not None:
+        columns = {"seeds": np.asarray(list(seeds))}
+        columns.update({name: summary.values
+                        for name, summary in summaries.items()})
+        store.write_group(group, columns, attrs={
+            "kind": "seed-sweep",
+            "metrics": sorted(collected),
+        })
+    return summaries
 
 
 def calibration_quality(seed: int, trials: int = 10) -> Dict[str, float]:

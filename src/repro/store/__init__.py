@@ -1,0 +1,12 @@
+"""Columnar on-disk dataset store (trace corpora, slot results).
+
+See :mod:`repro.store.columnar` for the layout and contracts.
+"""
+
+from .columnar import ColumnGroup, ColumnStore, GroupWriter
+
+__all__ = [
+    "ColumnGroup",
+    "ColumnStore",
+    "GroupWriter",
+]

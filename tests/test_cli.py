@@ -28,7 +28,9 @@ class TestParser:
     def test_bench_defaults(self):
         args = build_parser().parse_args(["bench"])
         assert args.viewers == 10
-        assert args.workers == 1
+        assert args.workers == 0  # 0 = auto (max(2, default_workers()))
+        assert not args.quick
+        assert args.require_batch_speedup is None
         assert args.output == "BENCH_trace_pipeline.json"
 
     def test_bench_options(self):

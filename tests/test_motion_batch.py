@@ -1,0 +1,197 @@
+"""The batched trace engine against its per-trace equality oracle.
+
+``generate_trace`` is the reference implementation; ``generate_batch``
+must reproduce it *bit for bit* for every (viewer, video) — same
+derived streams, same draw order, same float arithmetic.  These tests
+assert exact array equality (``np.array_equal``, never ``allclose``)
+across engines, worker counts and chunk sizes.
+"""
+
+import warnings
+
+import numpy as np
+import pytest
+
+from repro.motion import NORMAL_USE, TraceBatch, generate_batch, generate_dataset
+from repro.motion.traces import generate_trace
+from repro.parallel import ParallelFallbackWarning
+from repro.store import ColumnStore
+
+SEED = 2022
+DUR = 5.0
+
+
+def _reference(viewers, videos, duration_s):
+    return [generate_trace(viewer, video, duration_s=duration_s,
+                           seed=SEED)
+            for viewer in range(viewers) for video in range(videos)]
+
+
+class TestBitIdentity:
+    def test_matches_generate_trace_bitwise(self):
+        batch = generate_batch(viewers=3, videos=2, duration_s=DUR,
+                               seed=SEED)
+        oracle = _reference(3, 2, DUR)
+        assert len(batch) == len(oracle)
+        for got, want in zip(batch.traces(), oracle):
+            assert got.viewer == want.viewer
+            assert got.video == want.video
+            assert got.dt_s == want.dt_s
+            assert np.array_equal(got.positions, want.positions)
+            assert np.array_equal(got.eulers, want.eulers)
+            assert np.array_equal(got.step_linear_m, want.step_linear_m)
+            assert np.array_equal(got.step_angular_rad,
+                                  want.step_angular_rad)
+
+    def test_normal_use_profile_bitwise(self):
+        # NORMAL_USE has a different saccade/activity mix; the stream
+        # consumption order must survive the profile change.
+        batch = generate_batch(viewers=2, videos=2, profile=NORMAL_USE,
+                               duration_s=DUR, seed=SEED)
+        for got, want in zip(
+                batch.traces(),
+                [generate_trace(v, w, NORMAL_USE, duration_s=DUR,
+                                seed=SEED)
+                 for v in range(2) for w in range(2)]):
+            assert np.array_equal(got.positions, want.positions)
+            assert np.array_equal(got.eulers, want.eulers)
+
+    def test_chunk_size_does_not_change_bytes(self):
+        whole = generate_batch(viewers=3, videos=3, duration_s=DUR,
+                               seed=SEED, chunk_size=None)
+        chopped = generate_batch(viewers=3, videos=3, duration_s=DUR,
+                                 seed=SEED, chunk_size=2)
+        assert np.array_equal(whole.positions, chopped.positions)
+        assert np.array_equal(whole.eulers, chopped.eulers)
+        assert np.array_equal(whole.step_linear_m, chopped.step_linear_m)
+        assert np.array_equal(whole.step_angular_rad,
+                              chopped.step_angular_rad)
+
+    @pytest.mark.parametrize("workers", [1, 4])
+    def test_workers_do_not_change_bytes(self, workers):
+        serial = generate_batch(viewers=2, videos=3, duration_s=DUR,
+                                seed=SEED, workers=1)
+        with warnings.catch_warnings():
+            # A sandbox without process pools degrades serially; the
+            # bytes must match either way.
+            warnings.simplefilter("ignore", ParallelFallbackWarning)
+            pooled = generate_batch(viewers=2, videos=3, duration_s=DUR,
+                                    seed=SEED, workers=workers,
+                                    chunk_size=2)
+        assert np.array_equal(serial.positions, pooled.positions)
+        assert np.array_equal(serial.eulers, pooled.eulers)
+        assert np.array_equal(serial.step_linear_m,
+                              pooled.step_linear_m)
+        assert np.array_equal(serial.step_angular_rad,
+                              pooled.step_angular_rad)
+
+    def test_dataset_engine_parity(self):
+        loop = generate_dataset(viewers=2, videos=2, duration_s=DUR,
+                                engine="loop")
+        batch = generate_dataset(viewers=2, videos=2, duration_s=DUR,
+                                 engine="batch")
+        for got, want in zip(batch, loop):
+            assert (got.viewer, got.video) == (want.viewer, want.video)
+            assert np.array_equal(got.positions, want.positions)
+            assert np.array_equal(got.eulers, want.eulers)
+            assert np.array_equal(got.step_linear_m, want.step_linear_m)
+            assert np.array_equal(got.step_angular_rad,
+                                  want.step_angular_rad)
+
+
+class TestShapesAndModes:
+    def test_steps_only_skips_pose(self):
+        full = generate_batch(viewers=2, videos=2, duration_s=DUR,
+                              seed=SEED)
+        steps = generate_batch(viewers=2, videos=2, duration_s=DUR,
+                               seed=SEED, columns="steps")
+        assert not steps.has_pose
+        assert steps.positions is None and steps.eulers is None
+        assert np.array_equal(steps.step_linear_m, full.step_linear_m)
+        assert np.array_equal(steps.step_angular_rad,
+                              full.step_angular_rad)
+
+    def test_steps_only_refuses_trace_views(self):
+        steps = generate_batch(viewers=1, videos=1, duration_s=DUR,
+                               columns="steps")
+        with pytest.raises(ValueError):
+            steps.trace(0)
+
+    def test_rejects_unknown_columns(self):
+        with pytest.raises(ValueError):
+            generate_batch(viewers=1, videos=1, duration_s=DUR,
+                           columns="everything")
+
+    def test_empty_corpus(self):
+        batch = generate_batch(viewers=0, videos=10, duration_s=DUR)
+        assert len(batch) == 0
+        assert batch.traces() == []
+        assert batch.step_linear_m.shape[0] == 0
+
+    def test_single_trace(self):
+        batch = generate_batch(viewers=1, videos=1, duration_s=DUR,
+                               seed=SEED)
+        assert len(batch) == 1
+        want = generate_trace(0, 0, duration_s=DUR, seed=SEED)
+        assert np.array_equal(batch.trace(0).positions, want.positions)
+
+    def test_trace_views_are_zero_copy(self):
+        batch = generate_batch(viewers=1, videos=1, duration_s=DUR)
+        view = batch.trace(0)
+        assert np.shares_memory(view.positions, batch.positions)
+        assert np.shares_memory(view.step_linear_m, batch.step_linear_m)
+
+
+class TestFromTraces:
+    def test_roundtrip(self):
+        traces = generate_dataset(viewers=2, videos=2, duration_s=DUR,
+                                  engine="loop")
+        batch = TraceBatch.from_traces(traces)
+        for got, want in zip(batch.traces(), traces):
+            assert np.array_equal(got.positions, want.positions)
+            assert np.array_equal(got.eulers, want.eulers)
+            assert np.array_equal(got.step_linear_m, want.step_linear_m)
+
+    def test_steps_mode(self):
+        traces = generate_dataset(viewers=1, videos=2, duration_s=DUR,
+                                  engine="loop")
+        batch = TraceBatch.from_traces(traces, columns="steps")
+        assert not batch.has_pose
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            TraceBatch.from_traces([])
+
+    def test_rejects_ragged_corpus(self):
+        traces = [generate_trace(0, 0, duration_s=DUR, seed=SEED),
+                  generate_trace(0, 1, duration_s=2 * DUR, seed=SEED)]
+        with pytest.raises(ValueError):
+            TraceBatch.from_traces(traces)
+
+
+class TestStoreIntegration:
+    def test_save_load_roundtrip(self, tmp_path):
+        store = ColumnStore(tmp_path)
+        batch = generate_batch(viewers=2, videos=2, duration_s=DUR,
+                               seed=SEED, store=store)
+        loaded = TraceBatch.load(store)
+        assert loaded.dt_s == batch.dt_s
+        assert np.array_equal(loaded.viewer_ids, batch.viewer_ids)
+        assert np.array_equal(loaded.positions, batch.positions)
+        assert np.array_equal(loaded.step_linear_m, batch.step_linear_m)
+        attrs = store.read_group("traces").attrs
+        assert attrs["seed"] == SEED
+        assert attrs["viewers"] == 2
+
+    def test_loaded_columns_are_memmapped(self, tmp_path):
+        store = ColumnStore(tmp_path)
+        generate_batch(viewers=1, videos=2, duration_s=DUR, store=store)
+        loaded = TraceBatch.load(store)
+        assert isinstance(loaded.step_linear_m, np.memmap)
+
+    def test_steps_only_group_loads_without_pose(self, tmp_path):
+        store = ColumnStore(tmp_path)
+        generate_batch(viewers=1, videos=2, duration_s=DUR,
+                       columns="steps", store=store)
+        loaded = TraceBatch.load(store)
+        assert not loaded.has_pose

@@ -90,6 +90,35 @@ class TestParallelMap:
         assert default_workers() >= 1
 
 
+class TestDefaultWorkers:
+    """The worker-count resolution ladder: env var, affinity, cpus."""
+
+    def test_env_override_wins(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", "3")
+        assert default_workers() == 3
+
+    def test_env_override_must_be_integer(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", "many")
+        with pytest.raises(ValueError):
+            default_workers()
+
+    def test_env_override_must_be_positive(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", "0")
+        with pytest.raises(ValueError):
+            default_workers()
+
+    def test_respects_affinity_mask(self, monkeypatch):
+        # Containers pin processes to a core subset; cpu_count alone
+        # would oversubscribe the pool.
+        import os
+        if not hasattr(os, "sched_getaffinity"):
+            pytest.skip("platform has no scheduler affinity")
+        monkeypatch.delenv("REPRO_WORKERS", raising=False)
+        monkeypatch.setattr(os, "sched_getaffinity",
+                            lambda pid: {0, 1, 2, 3, 4})
+        assert default_workers() == 5
+
+
 class TestSerialFallback:
     """The silent serial fallback, proven rather than assumed."""
 

@@ -1,0 +1,129 @@
+"""The columnar dataset store: atomic groups, lazy reads, streaming."""
+
+import numpy as np
+import pytest
+
+from repro.store import ColumnStore
+
+
+@pytest.fixture()
+def store(tmp_path):
+    return ColumnStore(tmp_path / "store")
+
+
+def demo_columns(rows=5):
+    return {
+        "values": np.arange(rows, dtype=float),
+        "flags": np.arange(rows) % 2 == 0,
+        "poses": np.arange(rows * 6, dtype=float).reshape(rows, 3, 2),
+    }
+
+
+class TestWriteRead:
+    def test_roundtrip_bytes_and_attrs(self, store):
+        columns = demo_columns()
+        group = store.write_group("traces", columns,
+                                  attrs={"seed": 7, "note": "demo"})
+        assert group.rows == 5
+        assert group.column_names == sorted(columns)
+        for name, array in columns.items():
+            assert np.array_equal(group[name], array)
+        assert group.attrs == {"seed": 7, "note": "demo"}
+
+    def test_reads_are_lazy_memmaps(self, store):
+        store.write_group("traces", demo_columns())
+        group = store.read_group("traces")
+        assert isinstance(group["values"], np.memmap)
+        # A full in-RAM copy is available on request, and mutable.
+        copy = group.load("values")
+        copy[0] = 99.0
+        assert group["values"][0] == 0.0
+
+    def test_overwrite_replaces_group(self, store):
+        store.write_group("g", {"a": np.arange(3)})
+        store.write_group("g", {"b": np.arange(4)})
+        group = store.read_group("g")
+        assert group.column_names == ["b"]
+        assert group.rows == 4
+
+    def test_missing_group_and_column(self, store):
+        with pytest.raises(KeyError):
+            store.read_group("nope")
+        store.write_group("g", {"a": np.arange(3)})
+        with pytest.raises(KeyError):
+            store.read_group("g")["b"]
+
+    def test_catalogue(self, store):
+        assert store.groups() == []
+        store.write_group("b", {"x": np.arange(2)})
+        store.write_group("a", {"x": np.arange(2)})
+        assert store.groups() == ["a", "b"]
+        assert store.has_group("a")
+        store.delete_group("a")
+        assert not store.has_group("a")
+        assert store.groups() == ["b"]
+
+
+class TestValidation:
+    def test_rejects_bad_names(self, store):
+        with pytest.raises(ValueError):
+            store.write_group("../escape", {"a": np.arange(2)})
+        with pytest.raises(ValueError):
+            store.write_group("g", {"dotted.name": np.arange(2)})
+        with pytest.raises(ValueError):
+            store.read_group(".hidden")
+
+    def test_rejects_row_mismatch(self, store):
+        with pytest.raises(ValueError):
+            store.write_group("g", {"a": np.arange(3),
+                                    "b": np.arange(4)})
+
+    def test_rejects_empty_group(self, store):
+        with pytest.raises(ValueError):
+            store.write_group("g", {})
+
+    def test_rejects_scalar_columns(self, store):
+        with pytest.raises(ValueError):
+            store.write_group("g", {"a": np.float64(3.0)})
+
+
+class TestGroupWriter:
+    def test_streaming_write_publishes_atomically(self, store):
+        writer = store.open_writer(
+            "sweep", {"vals": ((2,), np.float64)}, rows=4,
+            attrs={"kind": "demo"})
+        for row in range(4):
+            writer.columns["vals"][row] = [row, row + 0.5]
+        # Invisible until finalize: a crashed run leaves no half-group.
+        assert not store.has_group("sweep")
+        group = writer.finalize(extra_attrs={"done": True})
+        assert store.has_group("sweep")
+        assert np.array_equal(group["vals"],
+                              [[0, 0.5], [1, 1.5], [2, 2.5], [3, 3.5]])
+        assert group.attrs == {"kind": "demo", "done": True}
+
+    def test_finalize_twice_rejected(self, store):
+        writer = store.open_writer("g", {"a": ((), np.int64)}, rows=1)
+        writer.columns["a"][0] = 1
+        writer.finalize()
+        with pytest.raises(RuntimeError):
+            writer.finalize()
+
+    def test_abort_drops_everything(self, store):
+        writer = store.open_writer("g", {"a": ((), np.int64)}, rows=1)
+        writer.abort()
+        writer.abort()  # idempotent
+        assert not store.has_group("g")
+        assert store.groups() == []
+
+
+class TestInterchange:
+    def test_npz_roundtrip(self, store, tmp_path):
+        columns = demo_columns()
+        store.write_group("traces", columns, attrs={"seed": 3})
+        archive = store.export_npz("traces", tmp_path / "traces.npz")
+        other = ColumnStore(tmp_path / "other")
+        group = other.import_npz("traces", archive)
+        for name, array in columns.items():
+            assert np.array_equal(group[name], array)
+        assert group.attrs == {"seed": 3}
