@@ -12,8 +12,15 @@ can poke the system without writing code::
     python -m repro formats           # the VR-format bandwidth ladder
     python -m repro bench             # time the trace pipeline
     python -m repro chaos             # fault-injection robustness sweep
+    python -m repro sweep --checkpoint ck   # crash-safe resumable sweep
     python -m repro lint              # determinism/units static analysis
     python -m repro analyze           # whole-program layering/unit/RNG flow
+
+``bench``, ``chaos``, and ``sweep`` publish their JSON records
+atomically (tmp + rename) and defer SIGINT/SIGTERM to checkpoint
+boundaries, exiting ``128 + signum`` with no torn artifacts; ``sweep``
+additionally checkpoints per work unit and resumes byte-identically
+with ``--resume``.
 """
 
 from __future__ import annotations
@@ -253,10 +260,22 @@ def _cmd_bench(args):
     slots/s falls below ``X`` times the loop stack's at the same
     worker count.
     """
-    import json
+    from .orchestrator.signals import SignalGuard, SweepInterrupted
+    try:
+        with SignalGuard() as guard:
+            return _bench_run(args, guard)
+    except SweepInterrupted as exc:
+        print(f"interrupted by signal {exc.signum}; partial bench rows "
+              "discarded (the record publishes atomically at the end)")
+        return exc.exit_code
+
+
+def _bench_run(args, guard):
+    """The bench body; ``guard.check()`` between rows keeps Ctrl-C clean."""
     import time
 
     from .parallel import default_workers
+    from .store import write_json_atomic
 
     if args.quick:
         # The pinned CI preset: the paper's 500-trace corpus with
@@ -273,11 +292,13 @@ def _cmd_bench(args):
     pool_workers = args.workers if args.workers else \
         max(2, default_workers())
 
-    rows = [_bench_row("loop", 1, args, repeats),
-            _bench_row("batch", 1, args, repeats)]
+    row_plan = [("loop", 1), ("batch", 1)]
     if pool_workers > 1:
-        rows.append(_bench_row("loop", pool_workers, args, repeats))
-        rows.append(_bench_row("batch", pool_workers, args, repeats))
+        row_plan += [("loop", pool_workers), ("batch", pool_workers)]
+    rows = []
+    for engine, row_workers in row_plan:
+        guard.check()
+        rows.append(_bench_row(engine, row_workers, args, repeats))
 
     # Bitwise contract: every engine/transport/worker combination must
     # agree on the availability number exactly.
@@ -306,6 +327,7 @@ def _cmd_bench(args):
             best = min(best, time.perf_counter() - t0)
         return best
 
+    guard.check()
     subset = generate_dataset(
         viewers=1, videos=max(1, min(args.ref_traces, args.videos)),
         duration_s=args.duration)
@@ -356,9 +378,7 @@ def _cmd_bench(args):
         "batch_engine_speedup_single_worker": engine_speedup,
         "batch_stack_speedup_parallel": stack_speedup,
     }
-    with open(args.output, "w") as handle:
-        json.dump(payload, handle, indent=2)
-        handle.write("\n")
+    write_json_atomic(args.output, payload)
 
     for row in rows:
         flag = " (serial fallback!)" if row["serial_fallback"] else ""
@@ -393,11 +413,12 @@ def _cmd_bench(args):
 
 def _cmd_chaos(args):
     """Sweep fault scenarios, supervised vs bare, write BENCH_chaos.json."""
-    import json
     import time
 
     from .faults.chaos import get_scenarios, run_chaos, sweep_payload
+    from .orchestrator.signals import SignalGuard
     from .reporting import TextTable, fmt_float
+    from .store import write_json_atomic
 
     names = args.scenarios.split(",") if args.scenarios else None
     try:
@@ -405,9 +426,13 @@ def _cmd_chaos(args):
     except KeyError as exc:
         print(exc.args[0])
         return 2
-    t0 = time.perf_counter()
-    records = run_chaos(scenarios, workers=args.workers)
-    wall_s = time.perf_counter() - t0
+    # The sweep is one compute call, so a first Ctrl-C defers: the
+    # finished records still publish (atomically) before exiting
+    # 128+signum.  A second Ctrl-C aborts the blunt way.
+    with SignalGuard() as guard:
+        t0 = time.perf_counter()
+        records = run_chaos(scenarios, workers=args.workers)
+        wall_s = time.perf_counter() - t0
 
     table = TextTable(["scenario", "bare up", "supervised up", "gain",
                        "MTTR (s)", "recoveries"])
@@ -423,12 +448,111 @@ def _cmd_chaos(args):
     # Wall time is printed but kept OUT of the payload so the file is
     # byte-identical for any --workers setting.
     payload = sweep_payload(records)
-    with open(args.output, "w") as handle:
-        json.dump(payload, handle, indent=2)
-        handle.write("\n")
+    write_json_atomic(args.output, payload)
     print(f"mean uptime gain: {payload['mean_uptime_gain']:+.3f}")
     print(f"wall: {wall_s:.2f} s (workers={args.workers})")
     print(f"wrote {args.output}")
+    if guard.triggered:
+        print(f"interrupted by signal {guard.triggered}; record "
+              "published before exit")
+        return guard.exit_code
+    return 0
+
+
+def _cmd_sweep(args):
+    """Run (or resume) a crash-safe checkpointed sweep.
+
+    Work units execute in killable child processes, spool into the
+    checkpoint's column store as they finish, and the final corpus +
+    ``SWEEP_<kind>.json`` payload are byte-identical no matter how
+    many times the run was interrupted — SIGKILL included — and
+    resumed with ``--resume``.  Exit codes: 0 done, 1 units failed,
+    2 bad configuration, 128+signum when interrupted.
+    """
+    import time
+
+    from .orchestrator import (
+        SignalGuard,
+        SweepConfigError,
+        SweepError,
+        SweepInterrupted,
+        SweepRunner,
+        UnitFailedError,
+        build_sweep,
+        list_kinds,
+    )
+    from .store import write_json_atomic
+
+    names = args.scenarios.split(",") if args.scenarios else None
+    try:
+        spec = build_sweep(args.kind, seed=args.seed, units=args.units,
+                           work=args.work, sleep_s=args.sleep_s,
+                           trials=args.trials, scenarios=names)
+    except (KeyError, ValueError) as exc:
+        print(exc.args[0] if exc.args else str(exc))
+        print(f"available kinds: {', '.join(list_kinds())}")
+        return 2
+
+    output = args.output if args.output else f"SWEEP_{args.kind}.json"
+    t0 = time.perf_counter()
+    baseline = {"done": 0}
+
+    def progress(done, total, unit):
+        elapsed = time.perf_counter() - t0
+        fresh = done - baseline["done"]
+        remaining = total - done
+        if fresh > 0 and remaining > 0:
+            eta = elapsed / fresh * remaining
+            tail = f"ETA {eta:5.1f} s"
+        else:
+            tail = "done" if remaining == 0 else "ETA ?"
+        print(f"[{done:>{len(str(total))}}/{total}] {unit.label} "
+              f"({elapsed:.1f} s elapsed, {tail})")
+
+    try:
+        with SignalGuard() as guard:
+            runner = SweepRunner(
+                spec, args.checkpoint, workers=args.workers,
+                timeout_s=args.timeout_s, retries=args.retries,
+                progress=progress, stop_check=guard.check)
+            status = runner.prepare(resume=args.resume)
+            baseline["done"] = status.done
+            print(f"sweep {spec.name!r}: {status.total} units, "
+                  f"{status.done} already checkpointed, "
+                  f"{status.pending} to run "
+                  f"(workers={runner.workers})")
+            if status.reaped_tmp:
+                print(f"reaped {status.reaped_tmp} orphaned tmp "
+                      "group(s) from a previous crash")
+            if status.journal_dropped_bytes:
+                print(f"dropped {status.journal_dropped_bytes} torn "
+                      "journal byte(s); affected units re-run")
+            result = runner.run()
+            guard.check()
+            _, payload = runner.finalize(group=args.group)
+    except SweepConfigError as exc:
+        print(str(exc))
+        return 2
+    except UnitFailedError as exc:
+        print(str(exc))
+        return 1
+    except SweepError as exc:
+        print(str(exc))
+        return 1
+    except SweepInterrupted as exc:
+        print(f"interrupted by signal {exc.signum}; checkpoint at "
+              f"{args.checkpoint} is consistent — rerun with --resume")
+        return exc.exit_code
+
+    write_json_atomic(output, payload)
+    wall_s = time.perf_counter() - t0
+    print(f"corpus group {args.group!r}: {payload['units']} rows, "
+          f"sha256 {payload['corpus_sha256'][:16]}…")
+    print(f"ran {result.ran}, skipped {result.skipped} "
+          f"(infra retries {result.infra_retries}, fn retries "
+          f"{result.fn_retries}, escalations {result.escalations})")
+    print(f"wall: {wall_s:.2f} s")
+    print(f"wrote {output}")
     return 0
 
 
@@ -538,6 +662,43 @@ def build_parser() -> argparse.ArgumentParser:
     chaos.add_argument("--workers", type=int, default=1)
     chaos.add_argument("--output", default="BENCH_chaos.json")
     chaos.set_defaults(func=_cmd_chaos)
+
+    sweep = sub.add_parser(
+        "sweep",
+        help="crash-safe checkpointed sweep (resume with --resume)")
+    sweep.add_argument("--kind", default="demo",
+                       help="workload: demo, calibration, or chaos")
+    sweep.add_argument("--checkpoint", required=True,
+                       help="checkpoint directory (manifest, journal, "
+                            "spooled results)")
+    sweep.add_argument("--resume", action="store_true",
+                       help="continue an interrupted sweep; completed "
+                            "units are skipped, bytes are identical")
+    sweep.add_argument("--workers", type=int, default=1,
+                       help="concurrent worker processes (0 = auto)")
+    sweep.add_argument("--timeout-s", type=float, default=None,
+                       dest="timeout_s", metavar="S",
+                       help="kill a unit's worker after S seconds")
+    sweep.add_argument("--retries", type=int, default=2,
+                       help="retries per unit before serial escalation")
+    sweep.add_argument("--units", type=int, default=8,
+                       help="unit count (demo/calibration kinds)")
+    sweep.add_argument("--seed", type=int, default=7)
+    sweep.add_argument("--work", type=int, default=4096,
+                       help="per-unit draw count (demo kind)")
+    sweep.add_argument("--sleep-s", type=float, default=0.0,
+                       dest="sleep_s", metavar="S",
+                       help="per-unit sleep (demo kind; test harness)")
+    sweep.add_argument("--trials", type=int, default=10,
+                       help="realignment trials (calibration kind)")
+    sweep.add_argument("--scenarios", default=None,
+                       help="comma-separated names (chaos kind)")
+    sweep.add_argument("--group", default="corpus",
+                       help="final corpus group name")
+    sweep.add_argument("--output", default=None,
+                       help="payload JSON path "
+                            "(default SWEEP_<kind>.json)")
+    sweep.set_defaults(func=_cmd_sweep)
 
     lint = sub.add_parser(
         "lint", help="determinism/units static analysis (repro.devtools)")

@@ -1,0 +1,126 @@
+"""Process- and file-level chaos for the sweep orchestrator.
+
+:mod:`repro.faults.models` perturbs the *simulated link*; this module
+perturbs the *compute layer that runs it*: SIGKILLed workers, a parent
+that dies between publishing a unit's rows and journaling them, torn
+checkpoint files.  Everything is explicit or :func:`repro.determinism.
+derive`-seeded, so a chaos test that fails replays exactly.
+
+:class:`ProcessChaos` plugs into ``SweepRunner(chaos=...)`` via three
+duck-typed hooks:
+
+* ``on_launch(unit_index, attempt, process)`` — right after a worker
+  starts; killing the process here simulates an OOM-killed or crashed
+  worker mid-unit.
+* ``on_publish(unit_index)`` — after a unit's group landed but
+  *before* its journal record; raising here tears open the publish →
+  journal window, the exact gap the resume contract must absorb.
+* ``on_unit_complete(completed)`` — after the journal append; raising
+  here is a parent crash at a checkpoint boundary.
+
+:func:`tear_file` and :func:`mangle_json` corrupt checkpoint artifacts
+the way a power cut does — a truncated tail, a scribbled span — for
+the journal-repair and store-corruption tests.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Mapping, Optional, Union
+
+from ..determinism import derive
+
+
+class SimulatedCrash(RuntimeError):
+    """An injected parent-process crash (chaos tests only)."""
+
+    def __init__(self, where: str, count: int) -> None:
+        super().__init__(f"simulated crash {where} (count {count})")
+        self.where = where
+        self.count = count
+
+
+@dataclass
+class ProcessChaos:
+    """A deterministic schedule of compute-layer faults.
+
+    ``kill_units`` maps unit index to how many of that unit's worker
+    attempts to SIGKILL (the runner then retries and, past the retry
+    budget, escalates to serial).  ``crash_on_publish_of`` raises a
+    :class:`SimulatedCrash` in the publish→journal window of that unit
+    index; ``crash_after_units`` raises once that many units are
+    journaled.  All counters reset with a fresh instance, so one
+    instance describes one run.
+    """
+
+    kill_units: Mapping[int, int] = field(default_factory=dict)
+    crash_on_publish_of: Optional[int] = None
+    crash_after_units: Optional[int] = None
+    kills_delivered: Dict[int, int] = field(default_factory=dict)
+
+    def on_launch(self, unit_index: int, attempt: int,
+                  process: object) -> None:
+        budget = int(self.kill_units.get(unit_index, 0))
+        delivered = self.kills_delivered.get(unit_index, 0)
+        if delivered < budget:
+            self.kills_delivered[unit_index] = delivered + 1
+            kill = getattr(process, "kill")
+            kill()
+
+    def on_publish(self, unit_index: int) -> None:
+        if self.crash_on_publish_of is not None \
+                and unit_index == self.crash_on_publish_of:
+            raise SimulatedCrash("between publish and journal",
+                                 unit_index)
+
+    def on_unit_complete(self, completed: int) -> None:
+        if self.crash_after_units is not None \
+                and completed >= self.crash_after_units:
+            raise SimulatedCrash("after checkpoint boundary", completed)
+
+
+def kill_plan(seed: int, n_units: int, kills: int) -> Dict[int, int]:
+    """A derive-seeded choice of ``kills`` distinct units to shoot once.
+
+    Reproducible across runs (same seed, same plan) so a failing chaos
+    test names the exact schedule that broke it.
+    """
+    if kills > n_units:
+        raise ValueError(f"cannot kill {kills} of {n_units} units")
+    rng = derive(seed, n_units, kills)
+    chosen = rng.choice(n_units, size=kills, replace=False)
+    return {int(index): 1 for index in sorted(chosen)}
+
+
+def tear_file(path: Union[str, Path], drop_bytes: int) -> int:
+    """Truncate the last ``drop_bytes`` bytes off a file (>= 0 left).
+
+    Returns the new size.  Models a crash mid-append: the tail of the
+    final record is simply missing.
+    """
+    path = Path(path)
+    size = path.stat().st_size
+    new_size = max(0, size - int(drop_bytes))
+    with open(path, "rb+") as handle:
+        handle.truncate(new_size)
+        handle.flush()
+        os.fsync(handle.fileno())
+    return new_size
+
+
+def mangle_json(path: Union[str, Path]) -> None:
+    """Scribble over the middle of a JSON file (keeps its length).
+
+    The result is valid UTF-8 but not valid JSON — the classic
+    half-written-page corruption a reader must reject loudly.
+    """
+    path = Path(path)
+    data = bytearray(path.read_bytes())
+    if not data:
+        raise ValueError(f"{path} is empty; nothing to mangle")
+    middle = len(data) // 2
+    span = data[middle:middle + 8]
+    data[middle:middle + len(span)] = b"~" * len(span)
+    path.write_bytes(bytes(data))

@@ -1,0 +1,56 @@
+"""Crash-safe sweep orchestration: manifest, journal, supervised run.
+
+The layer between a parameter sweep and the processes that compute it.
+A sweep is enumerated into a content-addressed manifest
+(:mod:`.manifest`), executed unit-by-unit in killable child processes
+with bounded retries and serial escalation (:mod:`.runner`), spooled
+incrementally into a :class:`~repro.store.ColumnStore` with a
+checksummed completion journal (:mod:`.journal`), and assembled into a
+byte-reproducible corpus at the end — interrupt the run anywhere
+(SIGKILL included) and ``resume`` produces the identical bytes.
+:mod:`.signals` defers Ctrl-C to checkpoint boundaries;
+:mod:`.sweeps` catalogues the runnable workloads.
+"""
+
+from .journal import Journal, JournalRecord
+from .manifest import (
+    ManifestError,
+    SweepManifest,
+    WorkUnit,
+    build_manifest,
+    canonical_json,
+    content_key,
+)
+from .runner import (
+    SweepConfigError,
+    SweepError,
+    SweepResult,
+    SweepRunner,
+    SweepSpec,
+    SweepStatus,
+    UnitFailedError,
+)
+from .signals import SignalGuard, SweepInterrupted
+from .sweeps import build_sweep, list_kinds
+
+__all__ = [
+    "Journal",
+    "JournalRecord",
+    "ManifestError",
+    "SignalGuard",
+    "SweepConfigError",
+    "SweepError",
+    "SweepInterrupted",
+    "SweepManifest",
+    "SweepResult",
+    "SweepRunner",
+    "SweepSpec",
+    "SweepStatus",
+    "UnitFailedError",
+    "WorkUnit",
+    "build_manifest",
+    "build_sweep",
+    "canonical_json",
+    "content_key",
+    "list_kinds",
+]

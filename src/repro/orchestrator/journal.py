@@ -1,0 +1,127 @@
+"""The completion journal: crash-safe unit→group bookkeeping.
+
+One append-only NDJSON file records, per completed unit, which column
+group its rows were published under and a SHA-256 of the row payload.
+The crash model is *kill-at-any-byte*:
+
+* A record is appended only **after** its group's atomic publish, so a
+  journaled unit always has its data on disk.
+* Each line carries a checksum over its own body; a torn tail (the
+  classic SIGKILL-mid-append artifact) fails the parse or the
+  checksum and is dropped — the unit simply re-runs and overwrites
+  its group, which is idempotent.  A torn write is therefore
+  *indistinguishable from "not done"*, which is the whole contract.
+* Replay stops at the first bad line: in a single-writer append-only
+  file, anything after a corrupt byte is untrusted.  ``repair=True``
+  truncates the file back to the last good record so the next append
+  starts from a clean prefix.
+
+Appends are flushed and fsynced per record; at work-unit granularity
+(units are whole simulations, not rows) the cost is noise.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Tuple, Union
+
+import json
+
+from .manifest import canonical_json, content_key
+
+#: Hex digits of the per-line checksum.
+_CRC_LEN = 12
+
+#: The only status worth journaling: the unit's rows are published.
+STATUS_DONE = "done"
+
+
+@dataclass(frozen=True)
+class JournalRecord:
+    """One completed unit: identity, where it landed, payload hash."""
+
+    unit_key: str
+    group: str
+    payload_sha: str
+    status: str = STATUS_DONE
+
+    def to_dict(self) -> Dict[str, str]:
+        return {"unit": self.unit_key, "group": self.group,
+                "sha": self.payload_sha, "status": self.status}
+
+
+def _line_for(record: JournalRecord) -> str:
+    body = canonical_json(record.to_dict())
+    crc = content_key(body)[:_CRC_LEN]
+    return canonical_json({"crc": crc, "record": record.to_dict()})
+
+
+def _parse_line(line: bytes) -> JournalRecord:
+    """One journal line back to a record; raises ValueError if bad."""
+    payload = json.loads(line.decode("utf-8"))
+    if not isinstance(payload, dict):
+        raise ValueError("journal line is not an object")
+    body = payload.get("record")
+    crc = payload.get("crc")
+    if not isinstance(body, dict) or not isinstance(crc, str):
+        raise ValueError("journal line missing record/crc")
+    if content_key(canonical_json(body))[:_CRC_LEN] != crc:
+        raise ValueError("journal line checksum mismatch")
+    record = JournalRecord(
+        unit_key=body["unit"], group=body["group"],
+        payload_sha=body["sha"], status=body["status"])
+    if not all(isinstance(field, str) for field in record.to_dict()
+               .values()):
+        raise ValueError("journal record fields must be strings")
+    return record
+
+
+class Journal:
+    """Append-only checksummed completion log (see module docstring)."""
+
+    def __init__(self, path: Union[str, Path]) -> None:
+        self.path = Path(path)
+
+    def append(self, record: JournalRecord) -> None:
+        """Durably append one record (flush + fsync before returning)."""
+        with open(self.path, "a", encoding="utf-8") as handle:
+            handle.write(_line_for(record) + "\n")
+            handle.flush()
+            os.fsync(handle.fileno())
+
+    def replay(self, repair: bool = False
+               ) -> Tuple[Dict[str, JournalRecord], int]:
+        """Parse the journal: ``(records by unit key, bytes dropped)``.
+
+        Later records for the same unit win (a unit legitimately
+        re-runs after its record was torn away).  With ``repair=True``
+        the file is truncated back to the last good record so future
+        appends extend a verified prefix.
+        """
+        if not self.path.exists():
+            return {}, 0
+        data = self.path.read_bytes()
+        records: Dict[str, JournalRecord] = {}
+        good_end = 0
+        offset = 0
+        while offset < len(data):
+            newline = data.find(b"\n", offset)
+            if newline < 0:
+                break  # torn tail: no terminator
+            line = data[offset:newline]
+            try:
+                record = _parse_line(line)
+            except (ValueError, KeyError, UnicodeDecodeError):
+                break  # corrupt: drop this line and everything after
+            records[record.unit_key] = record
+            offset = newline + 1
+            good_end = offset
+        dropped = len(data) - good_end
+        if repair and dropped:
+            with open(self.path, "rb+") as handle:
+                handle.truncate(good_end)
+                handle.flush()
+                os.fsync(handle.fileno())
+        return records, dropped

@@ -1,0 +1,611 @@
+"""The supervised sweep runner: execute, spool, resume.
+
+``SweepRunner`` drives a content-addressed :class:`~repro.orchestrator.
+manifest.SweepManifest` to completion against a checkpoint directory::
+
+    <checkpoint>/
+      MANIFEST.json     # the enumerated sweep + its sweep key
+      journal.ndjson    # checksummed unit -> group completion records
+      store/            # ColumnStore: one tiny group per finished unit
+        u<key16>/       #   rows of one unit (atomic publish)
+        corpus/         #   the assembled final corpus (finalize())
+
+The three invariants that make a run killable at any byte:
+
+1. **Atomic spooling.**  A unit's rows land via ``ColumnStore.
+   write_group`` (tmp dir + rename), then the journal line is
+   appended (checksummed, fsynced).  Any prefix of that sequence is
+   either invisible or verifiable.
+2. **Idempotent replay.**  ``prepare(resume=True)`` re-derives the
+   manifest, replays the journal (dropping torn tails), re-verifies
+   every journaled group against its recorded payload SHA, and
+   re-runs exactly the units that don't check out.  Since unit
+   functions are pure and keyed by content-hashed parameters, the
+   final corpus is byte-identical to an uninterrupted run.
+3. **Supervised execution.**  Each attempt runs in its own killable
+   child process (:class:`repro.parallel.PendingCall`).  A worker
+   that dies or overruns its per-unit timeout is retried a bounded
+   number of times, then the unit is *escalated to serial* in-parent
+   execution — the same ladder ``simulate/supervisor.py`` applies to
+   the link, applied to the compute layer.  A unit function that
+   raises is retried with fresh ``determinism.derive``-spawned retry
+   seeds (when the spec opts in) before escalating.
+
+Environments that forbid child processes degrade to in-parent serial
+execution with one :class:`~repro.parallel.ParallelFallbackWarning`,
+exactly like the pool maps; results are identical.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import time
+import warnings
+from collections import deque
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import (
+    Callable,
+    Deque,
+    Dict,
+    List,
+    Mapping,
+    Optional,
+    Tuple,
+    Union,
+)
+
+import numpy as np
+
+from ..determinism import derive
+from ..parallel import (
+    ParallelFallbackWarning,
+    PendingCall,
+    default_workers,
+    wait_ready,
+)
+from ..store import ColumnGroup, ColumnStore, StoreError
+from .journal import STATUS_DONE, Journal, JournalRecord
+from .manifest import (
+    ManifestError,
+    SweepManifest,
+    WorkUnit,
+    build_manifest,
+    canonical_json,
+    content_key,
+    read_manifest_key,
+    write_manifest,
+)
+
+#: Scheduler wake-up period: bounds stop-flag and timeout latency.
+_POLL_S = 0.2
+
+
+class SweepError(RuntimeError):
+    """A sweep cannot proceed (incomplete, inconsistent results...)."""
+
+
+class SweepConfigError(SweepError):
+    """The checkpoint directory does not match the requested sweep."""
+
+
+class UnitFailedError(SweepError):
+    """Units exhausted every retry and the serial escalation."""
+
+    def __init__(self, failures: List[Tuple[WorkUnit, str]]) -> None:
+        lines = "; ".join(f"{unit.label}: {message}"
+                          for unit, message in failures)
+        super().__init__(
+            f"{len(failures)} unit(s) failed after retries and serial "
+            f"escalation ({lines}); completed units are checkpointed "
+            "— fix and re-run with resume")
+        self.failures = failures
+
+
+@dataclass(frozen=True)
+class SweepSpec:
+    """What to run: a pure unit function over enumerated parameters.
+
+    ``unit_fn(params)`` must return a non-empty mapping of column name
+    to scalar or fixed-shape array — one *row* of the final corpus —
+    and must be deterministic in ``params`` (that is what makes
+    resume byte-identical).  For pooled execution it should be a
+    module-level callable (or ``functools.partial`` of one).
+
+    ``retry_seed_param`` opts into seeded retries: when a unit
+    *raises* (not when its worker dies — those re-run unchanged), the
+    retry attempt receives ``params[retry_seed_param]`` freshly
+    derived from the unit key and attempt number via
+    :func:`repro.determinism.derive`.  Workloads that are pure leave
+    it None and simply re-run identically.
+    """
+
+    name: str
+    unit_fn: Callable[[Dict[str, object]], Mapping[str, object]]
+    unit_params: Tuple[Dict[str, object], ...]
+    common: Mapping[str, object] = field(default_factory=dict)
+    retry_seed_param: Optional[str] = None
+
+
+@dataclass(frozen=True)
+class SweepStatus:
+    """What :meth:`SweepRunner.prepare` found in the checkpoint."""
+
+    total: int
+    done: int
+    reaped_tmp: int
+    journal_dropped_bytes: int
+
+    @property
+    def pending(self) -> int:
+        return self.total - self.done
+
+
+@dataclass
+class SweepResult:
+    """Execution accounting for one :meth:`SweepRunner.run` call."""
+
+    total: int
+    skipped: int = 0
+    ran: int = 0
+    infra_retries: int = 0
+    fn_retries: int = 0
+    escalations: int = 0
+    failed: List[Tuple[WorkUnit, str]] = field(default_factory=list)
+
+    @property
+    def done(self) -> int:
+        return self.skipped + self.ran
+
+
+@dataclass
+class _Attempts:
+    """Per-unit failure bookkeeping across requeues."""
+
+    infra: int = 0
+    fn: int = 0
+
+
+@dataclass
+class _Running:
+    """One in-flight attempt: the child call plus its deadline."""
+
+    unit: WorkUnit
+    call: PendingCall
+    started_s: float
+
+
+def _rows_from_payload(unit: WorkUnit,
+                       payload: object) -> Dict[str, np.ndarray]:
+    """A unit result as one-row column arrays (leading axis 1)."""
+    if not isinstance(payload, Mapping) or not payload:
+        raise SweepError(
+            f"unit {unit.label}: unit_fn must return a non-empty "
+            f"mapping of column -> scalar/array, got {type(payload)}")
+    rows: Dict[str, np.ndarray] = {}
+    for name, value in payload.items():
+        rows[str(name)] = np.asarray(value)[None, ...]
+    return rows
+
+
+def _sha_of_columns(columns: Mapping[str, np.ndarray]) -> str:
+    """Order-independent content hash of named arrays (name-sorted)."""
+    digest = hashlib.sha256()
+    for name in sorted(columns):
+        array = np.ascontiguousarray(columns[name])
+        digest.update(name.encode("utf-8"))
+        digest.update(array.dtype.str.encode("ascii"))
+        digest.update(canonical_json(list(array.shape)).encode())
+        digest.update(array.tobytes())
+    return digest.hexdigest()
+
+
+class SweepRunner:
+    """Supervised, checkpointed execution of one sweep (module doc)."""
+
+    def __init__(self, spec: SweepSpec,
+                 checkpoint_dir: Union[str, Path],
+                 workers: Optional[int] = 1,
+                 timeout_s: Optional[float] = None,
+                 retries: int = 2,
+                 progress: Optional[
+                     Callable[[int, int, WorkUnit], None]] = None,
+                 stop_check: Optional[Callable[[], None]] = None,
+                 stop_after_units: Optional[int] = None,
+                 chaos: Optional[object] = None) -> None:
+        if workers is None or workers == 0:
+            workers = default_workers()
+        if workers < 1:
+            raise ValueError("workers must be >= 1 (or 0/None for auto)")
+        if retries < 0:
+            raise ValueError("retries must be >= 0")
+        self.spec = spec
+        self.checkpoint = Path(checkpoint_dir)
+        self.workers = int(workers)
+        self.timeout_s = timeout_s
+        self.retries = int(retries)
+        self.manifest: SweepManifest = build_manifest(
+            spec.name, spec.common, spec.unit_params)
+        self._progress = progress
+        self._stop_check = stop_check
+        self._stop_after_units = stop_after_units
+        self._chaos = chaos
+        self._journal = Journal(self.checkpoint / "journal.ndjson")
+        self._store: Optional[ColumnStore] = None
+        self._completed: Dict[str, JournalRecord] = {}
+        self._pending: List[WorkUnit] = []
+        self._attempts: Dict[str, _Attempts] = {}
+        self._use_processes = True
+        self._prepared = False
+
+    # -- checkpoint lifecycle --------------------------------------------
+
+    @property
+    def store(self) -> ColumnStore:
+        """The checkpoint's column store (valid after prepare)."""
+        if self._store is None:
+            raise SweepError("call prepare() before using the store")
+        return self._store
+
+    @property
+    def manifest_path(self) -> Path:
+        return self.checkpoint / "MANIFEST.json"
+
+    def prepare(self, resume: bool = False) -> SweepStatus:
+        """Open (or create) the checkpoint and replay the journal.
+
+        A fresh run against a directory that already holds sweep state
+        requires ``resume=True`` — refusing by default keeps a typo'd
+        checkpoint path from silently re-spending a finished sweep.
+        ``resume=True`` against an empty directory simply starts
+        fresh, so retry loops can always pass it.
+        """
+        self.checkpoint.mkdir(parents=True, exist_ok=True)
+        existing = self.manifest_path.exists() \
+            or self._journal.path.exists()
+        if existing and not resume:
+            raise SweepConfigError(
+                f"checkpoint {self.checkpoint} already holds sweep "
+                "state; pass resume=True to continue it (or point at "
+                "a fresh directory)")
+        if self.manifest_path.exists():
+            try:
+                recorded = read_manifest_key(self.manifest_path)
+            except ManifestError:
+                recorded = None  # torn manifest: rewritten below
+            if recorded is not None \
+                    and recorded != self.manifest.sweep_key:
+                raise SweepConfigError(
+                    f"checkpoint {self.checkpoint} belongs to a "
+                    f"different sweep (recorded key {recorded[:16]}…, "
+                    f"requested {self.manifest.sweep_key[:16]}…); "
+                    "refusing to mix results")
+        write_manifest(self.manifest_path, self.manifest)
+        self._store = ColumnStore(self.checkpoint / "store")
+        # Single writer by contract, so tmp dirs here are always the
+        # droppings of a crashed predecessor: reap them.
+        reaped = self._store.vacuum()
+        records, dropped = self._journal.replay(repair=True)
+        self._completed = {}
+        by_key = self.manifest.unit_by_key()
+        for key, record in records.items():
+            unit = by_key.get(key)
+            if unit is None or record.status != STATUS_DONE:
+                continue
+            if self._unit_verifies(unit, record):
+                self._completed[key] = record
+        self._pending = [unit for unit in self.manifest.units
+                         if unit.key not in self._completed]
+        self._attempts = {}
+        self._prepared = True
+        return SweepStatus(total=len(self.manifest.units),
+                           done=len(self._completed),
+                           reaped_tmp=len(reaped),
+                           journal_dropped_bytes=dropped)
+
+    def _unit_verifies(self, unit: WorkUnit,
+                       record: JournalRecord) -> bool:
+        """Does the spooled group match its journal record exactly?"""
+        if record.group != unit.group:
+            return False
+        assert self._store is not None
+        try:
+            group = self._store.read_group(unit.group)
+            columns = {name: np.asarray(group[name]) for name in group}
+        except (KeyError, StoreError):
+            return False
+        return _sha_of_columns(columns) == record.payload_sha
+
+    # -- execution -------------------------------------------------------
+
+    def run(self) -> SweepResult:
+        """Execute every pending unit; raises on unrecoverable units.
+
+        Completed units spool incrementally, so an exception (or a
+        kill) part-way through loses only in-flight work.  Raises
+        :class:`UnitFailedError` when any unit exhausted the retry
+        ladder; those units stay un-journaled and re-run on resume.
+        """
+        if not self._prepared:
+            raise SweepError("call prepare() before run()")
+        result = SweepResult(total=len(self.manifest.units),
+                             skipped=len(self._completed))
+        if self._pending:
+            pending: Deque[WorkUnit] = deque(self._pending)
+            if self._use_processes:
+                self._run_supervised(pending, result)
+            else:
+                self._run_inline(pending, result)
+            self._pending = [unit for unit in self.manifest.units
+                             if unit.key not in self._completed]
+        if result.failed:
+            raise UnitFailedError(result.failed)
+        return result
+
+    def _run_supervised(self, pending: Deque[WorkUnit],
+                        result: SweepResult) -> None:
+        """The pooled scheduler: killable children, bounded retries."""
+        running: Dict[str, _Running] = {}
+        try:
+            while pending or running:
+                self._check_stop()
+                while pending and len(running) < self.workers:
+                    unit = pending.popleft()
+                    if not self._launch(unit, running):
+                        # Process spawn unavailable: finish the whole
+                        # run in-parent (results are identical).
+                        self._drain_running(running)
+                        pending.appendleft(unit)
+                        self._run_inline(pending, result)
+                        return
+                ready = set(wait_ready(
+                    [state.call for state in running.values()],
+                    timeout_s=_POLL_S))
+                now_s = time.monotonic()
+                for state in list(running.values()):
+                    if state.call in ready:
+                        del running[state.unit.key]
+                        status, value = state.call.finish()
+                        self._handle_outcome(state.unit, status, value,
+                                             pending, result)
+                    elif self.timeout_s is not None and \
+                            now_s - state.started_s >= self.timeout_s:
+                        state.call.kill()
+                        del running[state.unit.key]
+                        self._handle_outcome(
+                            state.unit, "died",
+                            f"timed out after {self.timeout_s:g} s "
+                            "(killed)", pending, result)
+        finally:
+            self._drain_running(running)
+
+    def _drain_running(self, running: Dict[str, _Running]) -> None:
+        for state in running.values():
+            state.call.kill()
+        running.clear()
+
+    def _launch(self, unit: WorkUnit,
+                running: Dict[str, _Running]) -> bool:
+        """Start one attempt; False when processes are unavailable."""
+        params = self._params_for(unit)
+        try:
+            call = PendingCall(self.spec.unit_fn, params)
+        except OSError as exc:
+            warnings.warn(
+                f"sweep {self.spec.name!r}: child processes "
+                f"unavailable ({type(exc).__name__}: {exc}); running "
+                "remaining units serially in-parent (results are "
+                "identical, only unsupervised)",
+                ParallelFallbackWarning, stacklevel=4)
+            self._use_processes = False
+            return False
+        running[unit.key] = _Running(unit=unit, call=call,
+                                     started_s=time.monotonic())
+        if self._chaos is not None:
+            on_launch = getattr(self._chaos, "on_launch", None)
+            if on_launch is not None:
+                attempts = self._attempts.setdefault(unit.key,
+                                                     _Attempts())
+                on_launch(unit.index,
+                          attempts.infra + attempts.fn,
+                          call.process)
+        return True
+
+    def _handle_outcome(self, unit: WorkUnit, status: str,
+                        value: object, pending: Deque[WorkUnit],
+                        result: SweepResult) -> None:
+        if status == "ok":
+            self._spool(unit, value)
+            result.ran += 1
+            return
+        attempts = self._attempts.setdefault(unit.key, _Attempts())
+        if status == "error":
+            attempts.fn += 1
+            if attempts.fn <= self.retries:
+                result.fn_retries += 1
+                pending.appendleft(unit)
+                return
+        else:  # "died": killed, crashed, or timed out
+            attempts.infra += 1
+            if attempts.infra <= self.retries:
+                result.infra_retries += 1
+                pending.appendleft(unit)
+                return
+        self._escalate(unit, str(value), result)
+
+    def _escalate(self, unit: WorkUnit, last_error: str,
+                  result: SweepResult) -> None:
+        """The poisoned-unit ladder rung: one serial in-parent try."""
+        result.escalations += 1
+        try:
+            payload = self.spec.unit_fn(self._params_for(unit))
+        except Exception as exc:
+            result.failed.append(
+                (unit, f"{type(exc).__name__}: {exc} (after "
+                       f"{last_error!r} in workers)"))
+            return
+        self._spool(unit, payload)
+        result.ran += 1
+
+    def _run_inline(self, pending: Deque[WorkUnit],
+                    result: SweepResult) -> None:
+        """Serial in-parent execution (fallback; no kill, no timeout)."""
+        while pending:
+            self._check_stop()
+            unit = pending.popleft()
+            attempts = self._attempts.setdefault(unit.key, _Attempts())
+            try:
+                payload = self.spec.unit_fn(self._params_for(unit))
+            except Exception as exc:
+                attempts.fn += 1
+                if attempts.fn <= self.retries:
+                    result.fn_retries += 1
+                    pending.appendleft(unit)
+                else:
+                    result.failed.append(
+                        (unit, f"{type(exc).__name__}: {exc}"))
+                continue
+            self._spool(unit, payload)
+            result.ran += 1
+
+    def _params_for(self, unit: WorkUnit) -> Dict[str, object]:
+        """This attempt's parameters (retry seeds derived, if opted)."""
+        params = dict(unit.params)
+        attempts = self._attempts.get(unit.key)
+        fn_failures = attempts.fn if attempts is not None else 0
+        if fn_failures > 0 and self.spec.retry_seed_param is not None:
+            rng = derive(int(unit.key[:16], 16), fn_failures)
+            params[self.spec.retry_seed_param] = \
+                int(rng.integers(2 ** 63))
+        return params
+
+    def _check_stop(self) -> None:
+        if self._stop_check is not None:
+            self._stop_check()
+
+    def _spool(self, unit: WorkUnit, payload: object) -> None:
+        """Publish one unit's rows atomically, then journal it."""
+        assert self._store is not None
+        rows = _rows_from_payload(unit, payload)
+        sha = _sha_of_columns(rows)
+        self._store.write_group(unit.group, rows, attrs={
+            "unit_key": unit.key,
+            "index": unit.index,
+            "params": dict(unit.params),
+        })
+        self._chaos_hook("on_publish", unit.index)
+        record = JournalRecord(unit_key=unit.key, group=unit.group,
+                               payload_sha=sha)
+        self._journal.append(record)
+        self._completed[unit.key] = record
+        self._chaos_hook("on_unit_complete", len(self._completed))
+        if self._progress is not None:
+            self._progress(len(self._completed),
+                           len(self.manifest.units), unit)
+        if self._stop_after_units is not None and \
+                len(self._completed) >= self._stop_after_units:
+            import signal as _signal
+            from .signals import SweepInterrupted
+            raise SweepInterrupted(int(_signal.SIGTERM))
+
+    def _chaos_hook(self, name: str, argument: int) -> None:
+        if self._chaos is None:
+            return
+        hook = getattr(self._chaos, name, None)
+        if hook is not None:
+            hook(argument)
+
+    # -- assembly --------------------------------------------------------
+
+    def finalize(self, group: str = "corpus",
+                 dest_store: Optional[ColumnStore] = None,
+                 extra_attrs: Optional[Mapping[str, object]] = None
+                 ) -> Tuple[ColumnGroup, Dict[str, object]]:
+        """Assemble the final corpus; returns ``(group, payload)``.
+
+        Rows stack in **manifest order** regardless of the order units
+        completed in (or across how many interrupted runs), which is
+        what makes the corpus byte-identical to an uninterrupted
+        sweep.  Idempotent: a crash mid-finalize leaves the previous
+        corpus (atomic publish); re-running rewrites the same bytes.
+        The returned payload dict contains only run-independent
+        values, so the published JSON is byte-identical too.
+        """
+        if not self._prepared:
+            raise SweepError("call prepare() before finalize()")
+        assert self._store is not None
+        missing = [unit for unit in self.manifest.units
+                   if unit.key not in self._completed]
+        if missing:
+            raise SweepError(
+                f"{len(missing)} unit(s) incomplete (first: "
+                f"{missing[0].label}); run() the sweep to the end "
+                "before finalize()")
+        per_unit: List[Dict[str, np.ndarray]] = []
+        for unit in self.manifest.units:
+            unit_group = self._store.read_group(unit.group)
+            per_unit.append({name: np.asarray(unit_group[name])
+                             for name in unit_group})
+        names = sorted(per_unit[0])
+        for unit, columns in zip(self.manifest.units, per_unit):
+            if sorted(columns) != names:
+                raise SweepError(
+                    f"unit {unit.label} produced columns "
+                    f"{sorted(columns)}, expected {names}; unit_fn "
+                    "must return the same columns for every unit")
+        try:
+            stacked = {name: np.concatenate(
+                [columns[name] for columns in per_unit], axis=0)
+                for name in names}
+        except ValueError as exc:
+            raise SweepError(
+                f"unit rows do not stack ({exc}); unit_fn must return "
+                "the same shapes and dtypes for every unit") from exc
+        attrs: Dict[str, object] = {
+            "kind": "sweep",
+            "sweep": self.spec.name,
+            "sweep_key": self.manifest.sweep_key,
+            "units": len(self.manifest.units),
+            "common": dict(self.spec.common),
+        }
+        if extra_attrs:
+            attrs.update(extra_attrs)
+        dest = dest_store if dest_store is not None else self._store
+        final = dest.write_group(group, stacked, attrs=attrs)
+        corpus_sha = hashlib.sha256(
+            (_sha_of_columns(stacked) + content_key(attrs))
+            .encode("ascii")).hexdigest()
+        payload: Dict[str, object] = {
+            "pipeline": "sweep",
+            "sweep": self.spec.name,
+            "sweep_key": self.manifest.sweep_key,
+            "group": group,
+            "units": len(self.manifest.units),
+            "common": dict(self.spec.common),
+            "columns": {
+                name: {"dtype": stacked[name].dtype.str,
+                       "shape": list(stacked[name].shape)}
+                for name in names
+            },
+            "summary": _summaries(stacked),
+            "corpus_sha256": corpus_sha,
+        }
+        return final, payload
+
+
+def _summaries(columns: Mapping[str, np.ndarray]
+               ) -> Dict[str, Dict[str, float]]:
+    """min/mean/max of the scalar numeric columns (JSON-safe)."""
+    out: Dict[str, Dict[str, float]] = {}
+    for name in sorted(columns):
+        array = np.asarray(columns[name])
+        if array.ndim != 1 or array.dtype.kind not in "fiub" \
+                or array.size == 0:
+            continue
+        values = array.astype(float)
+        if not np.all(np.isfinite(values)):
+            continue
+        out[name] = {"min": float(values.min()),
+                     "mean": float(values.mean()),
+                     "max": float(values.max())}
+    return out

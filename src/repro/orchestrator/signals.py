@@ -1,0 +1,95 @@
+"""Graceful SIGINT/SIGTERM handling for long-running CLI commands.
+
+A sweep (or bench, or chaos run) killed by Ctrl-C must not die in the
+middle of publishing a result.  :class:`SignalGuard` converts the
+asynchronous signal into a synchronous flag: the handler only records
+the signal, and the command raises :class:`SweepInterrupted` at its
+next *checkpoint boundary* (between work units, between bench rows,
+never inside a write).  Combined with atomic publication everywhere,
+an interrupted command leaves only complete artifacts behind and
+exits with the conventional ``128 + signum`` code (130 for SIGINT,
+143 for SIGTERM).
+
+A second signal escalates: the guard restores the previous handlers
+and raises ``KeyboardInterrupt`` immediately, so a wedged compute
+phase can still be interrupted the blunt way.
+"""
+
+from __future__ import annotations
+
+import signal
+from types import FrameType
+from typing import List, Optional, Tuple
+
+
+class SweepInterrupted(RuntimeError):
+    """A guarded command was asked to stop at a checkpoint boundary."""
+
+    def __init__(self, signum: int) -> None:
+        super().__init__(
+            f"interrupted by signal {signum}; checkpoint flushed")
+        self.signum = signum
+
+    @property
+    def exit_code(self) -> int:
+        return 128 + self.signum
+
+
+class SignalGuard:
+    """Defer SIGINT/SIGTERM to explicit :meth:`check` points.
+
+    Usage::
+
+        with SignalGuard() as guard:
+            for unit in work:
+                guard.check()         # raises SweepInterrupted
+                run_and_publish(unit) # never torn by the signal
+    """
+
+    def __init__(self,
+                 signums: Tuple[int, ...] = (signal.SIGINT,
+                                             signal.SIGTERM)) -> None:
+        self._signums = signums
+        self._previous: List[Tuple[int, object]] = []
+        self._received: Optional[int] = None
+        self._count = 0
+
+    def __enter__(self) -> "SignalGuard":
+        self._previous = [(signum, signal.getsignal(signum))
+                          for signum in self._signums]
+        for signum in self._signums:
+            signal.signal(signum, self._handle)
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self._restore()
+
+    def _restore(self) -> None:
+        for signum, handler in self._previous:
+            signal.signal(signum, handler)  # type: ignore[arg-type]
+        self._previous = []
+
+    def _handle(self, signum: int,
+                frame: Optional[FrameType]) -> None:
+        self._count += 1
+        if self._received is None:
+            self._received = signum
+        if self._count >= 2:
+            # Second signal: the user means it. Stop deferring.
+            self._restore()
+            raise KeyboardInterrupt
+
+    @property
+    def triggered(self) -> Optional[int]:
+        """The first deferred signal number, or None."""
+        return self._received
+
+    @property
+    def exit_code(self) -> int:
+        """``128 + signum`` of the deferred signal (0 if none)."""
+        return 128 + self._received if self._received else 0
+
+    def check(self) -> None:
+        """Raise :class:`SweepInterrupted` if a signal is pending."""
+        if self._received is not None:
+            raise SweepInterrupted(self._received)

@@ -1,0 +1,118 @@
+"""The sweep catalogue: named workloads the orchestrator can drive.
+
+Each *kind* maps CLI-level options to a :class:`~repro.orchestrator.
+runner.SweepSpec` — a pure, module-level unit function plus the
+enumerated unit parameters.  Unit functions receive one JSON-able
+parameter dict (everything they need rides in it, so the content key
+over those parameters fully determines the result) and return one
+row: a mapping of column name to scalar.
+
+Kinds:
+
+* ``demo`` — synthetic reduction over :func:`repro.determinism.derive`
+  streams; cheap, exercises every orchestrator path, and takes an
+  optional per-unit ``sleep_s`` so kill/resume harnesses can stretch
+  the window they shoot at.
+* ``calibration`` — Section 5.2's two-probe TP calibration quality,
+  one seed (one simulated world) per unit.
+* ``chaos`` — the fault-injection scenario suite, one named scenario
+  per unit, flattened to numeric supervised/unsupervised columns.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from typing import Any, Dict, List, Mapping, Optional, Sequence
+
+from ..determinism import derive
+from ..faults.chaos import get_scenarios, run_scenario
+from ..simulate.montecarlo import calibration_quality
+from .runner import SweepSpec
+
+
+def _demo_unit(params: Dict[str, Any]) -> Mapping[str, object]:
+    """One synthetic unit: moments of a derived-stream normal sample."""
+    sleep_s = float(params.get("sleep_s", 0.0))
+    if sleep_s > 0:
+        time.sleep(sleep_s)
+    rng = derive(int(params["seed"]), int(params["index"]))
+    draws = rng.standard_normal(int(params["work"]))
+    return {
+        "index": int(params["index"]),
+        "mean": float(draws.mean()),
+        "rms": float(math.sqrt(float((draws ** 2).mean()))),
+    }
+
+
+def _calibration_unit(params: Dict[str, Any]) -> Mapping[str, object]:
+    """One world's calibration-quality row (montecarlo's metric)."""
+    quality = calibration_quality(int(params["seed"]),
+                                  trials=int(params["trials"]))
+    row: Dict[str, object] = {"seed": int(params["seed"])}
+    row.update(quality)
+    return row
+
+
+def _chaos_unit(params: Dict[str, Any]) -> Mapping[str, object]:
+    """Both arms of one chaos scenario, flattened to numeric columns."""
+    scenario = get_scenarios([str(params["scenario"])])[0]
+    record = run_scenario(scenario)
+    row: Dict[str, object] = {
+        "scenario": record["name"],
+        "duration_s": float(record["duration_s"]),
+        "uptime_gain": float(record["uptime_gain"]),
+    }
+    for arm in ("supervised", "unsupervised"):
+        for key, value in record[arm].items():
+            row[f"{arm}_{key}"] = float(value)
+    return row
+
+
+def build_sweep(kind: str,
+                seed: int,
+                units: int = 8,
+                work: int = 4096,
+                sleep_s: float = 0.0,
+                trials: int = 10,
+                scenarios: Optional[Sequence[str]] = None) -> SweepSpec:
+    """A ready-to-run :class:`SweepSpec` for one catalogue kind.
+
+    ``seed`` roots the per-unit streams (``demo``) or enumerates the
+    worlds (``calibration``); ``scenarios`` selects chaos scenarios by
+    name (all of them when omitted).  Unknown kinds raise
+    ``KeyError`` listing the catalogue.
+    """
+    if units < 1:
+        raise ValueError("units must be >= 1")
+    if kind == "demo":
+        unit_params: List[Dict[str, object]] = [
+            {"seed": int(seed), "index": index, "work": int(work),
+             "sleep_s": float(sleep_s)}
+            for index in range(units)
+        ]
+        return SweepSpec(name="demo", unit_fn=_demo_unit,
+                         unit_params=tuple(unit_params),
+                         common={"work": int(work)})
+    if kind == "calibration":
+        unit_params = [
+            {"seed": int(seed) + index, "trials": int(trials)}
+            for index in range(units)
+        ]
+        return SweepSpec(name="calibration", unit_fn=_calibration_unit,
+                         unit_params=tuple(unit_params),
+                         common={"trials": int(trials)})
+    if kind == "chaos":
+        names = [scenario.name for scenario in get_scenarios(scenarios)]
+        unit_params = [{"scenario": name} for name in names]
+        return SweepSpec(name="chaos", unit_fn=_chaos_unit,
+                         unit_params=tuple(unit_params),
+                         common={})
+    raise KeyError(
+        f"unknown sweep kind {kind!r}; available: "
+        f"{', '.join(list_kinds())}")
+
+
+def list_kinds() -> List[str]:
+    """The catalogue, in documentation order."""
+    return ["demo", "calibration", "chaos"]

@@ -376,3 +376,115 @@ def _create_shm(name: str, array: np.ndarray):
     handle: _Handle = ("shm", block.name, tuple(array.shape),
                       array.dtype.str)
     return handle, (block, array, mirror)
+
+
+# ---------------------------------------------------------------------------
+# Supervised single-call transport
+# ---------------------------------------------------------------------------
+
+def _pending_call_child(conn, fn: Callable, arg: object) -> None:
+    """Child body for :class:`PendingCall` (module-level: spawnable).
+
+    Outcomes travel back as one ``(status, value)`` message; a child
+    that dies without sending (SIGKILL, OOM, segfault) is detected by
+    the parent as EOF on the pipe plus a nonzero exit code.
+    """
+    try:
+        try:
+            result = fn(arg)
+        except BaseException as exc:
+            conn.send(("error", f"{type(exc).__name__}: {exc}"))
+        else:
+            try:
+                conn.send(("ok", result))
+            except Exception as exc:
+                conn.send(("error",
+                           f"result not transportable: {exc}"))
+    except Exception:  # pragma: no cover - pipe already gone
+        pass
+    finally:
+        conn.close()
+
+
+class PendingCall:
+    """One callable evaluating in a dedicated, *killable* child process.
+
+    The pool primitives above trade isolation for throughput: a worker
+    serves many chunks, so one hung or crashed item poisons the whole
+    map (the fallback then re-runs everything serially).  A supervisor
+    needs the opposite trade — per-call blast radius — so
+    ``PendingCall`` runs exactly one ``fn(arg)`` in its own process:
+
+    * :meth:`kill` stops a hung call without disturbing its siblings;
+    * a child killed mid-call (chaos, OOM) surfaces as a ``"died"``
+      status instead of an exception in the parent;
+    * the one-shot pipe means a completed call's result is never lost
+      to a later crash of the same worker.
+
+    This is the execution transport under
+    ``repro.orchestrator.SweepRunner``; prefer :func:`parallel_map`
+    for plain fan-out.
+    """
+
+    def __init__(self, fn: Callable, arg: object) -> None:
+        from multiprocessing import Pipe, Process
+        self._recv, child = Pipe(duplex=False)
+        self.process = Process(target=_pending_call_child,
+                               args=(child, fn, arg), daemon=True)
+        self.process.start()
+        # The parent's copy of the child end must close so that a dead
+        # child reads as EOF rather than a forever-open pipe.
+        child.close()
+
+    @property
+    def connection(self):
+        """The readable end, for ``multiprocessing.connection.wait``."""
+        return self._recv
+
+    def ready(self) -> bool:
+        """True when a result message (or EOF) is waiting."""
+        return self._recv.poll()
+
+    def kill(self) -> None:
+        """SIGKILL the child (idempotent); reaps the process."""
+        if self.process.is_alive():
+            self.process.kill()
+        self.process.join()
+
+    def finish(self) -> Tuple[str, object]:
+        """Harvest the outcome: ``(status, value)``; reaps the process.
+
+        ``("ok", result)`` for a clean return, ``("error", message)``
+        when ``fn`` raised, ``("died", detail)`` when the child exited
+        without reporting (killed / crashed).  A result that was fully
+        sent before a kill still comes back as ``"ok"`` — a completed
+        call is never discarded.
+        """
+        message: Optional[Tuple[str, object]] = None
+        try:
+            if self._recv.poll():
+                message = self._recv.recv()
+        except (EOFError, OSError):
+            message = None
+        self.process.join()
+        self._recv.close()
+        if message is not None:
+            return message[0], message[1]
+        code = self.process.exitcode
+        detail = f"exit code {code}" if code is None or code >= 0 \
+            else f"killed by signal {-code}"
+        return "died", detail
+
+
+def wait_ready(calls: Sequence[PendingCall],
+               timeout_s: Optional[float] = None) -> List[PendingCall]:
+    """The subset of ``calls`` with a result (or EOF) available.
+
+    Blocks up to ``timeout_s`` (None = forever); returns ``[]`` on
+    timeout.  A dead child's pipe reads as ready, so supervisors wake
+    for crashes exactly like for completions.
+    """
+    from multiprocessing.connection import wait
+    by_conn = {call.connection: call for call in calls}
+    ready = wait(list(by_conn), timeout=timeout_s)
+    return [by_conn[conn] for conn in ready if conn in by_conn]

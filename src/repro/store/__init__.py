@@ -1,12 +1,18 @@
 """Columnar on-disk dataset store (trace corpora, slot results).
 
-See :mod:`repro.store.columnar` for the layout and contracts.
+See :mod:`repro.store.columnar` for the layout and contracts, and
+:mod:`repro.store.atomic` for the all-or-nothing sidecar-file writes
+that share its crash model.
 """
 
-from .columnar import ColumnGroup, ColumnStore, GroupWriter
+from .atomic import read_json, write_json_atomic
+from .columnar import ColumnGroup, ColumnStore, GroupWriter, StoreError
 
 __all__ = [
     "ColumnGroup",
     "ColumnStore",
     "GroupWriter",
+    "StoreError",
+    "read_json",
+    "write_json_atomic",
 ]

@@ -64,6 +64,18 @@ _FORMAT_VERSION = 1
 _META = "meta.json"
 
 
+class StoreError(RuntimeError):
+    """A group's on-disk state is corrupt, torn, or unreadable.
+
+    Raised instead of whatever ``json`` / ``numpy`` would surface
+    (``JSONDecodeError``, a bare ``ValueError`` from a truncated
+    ``.npy``, ``FileNotFoundError`` for a missing column) so callers
+    can distinguish *corruption* from programming errors and react —
+    the sweep orchestrator, for instance, treats a corrupt unit group
+    as "not done" and recomputes it.
+    """
+
+
 def _check_name(kind: str, name: str) -> str:
     if not _NAME_RE.match(name):
         raise ValueError(
@@ -82,12 +94,14 @@ class ColumnGroup:
 
     def __init__(self, name: str, path: Path,
                  columns: List[str], rows: int, attrs: Dict,
-                 mmap: bool = True) -> None:
+                 mmap: bool = True,
+                 column_specs: Optional[Dict[str, Dict]] = None) -> None:
         self.name = name
         self.path = path
         self.attrs = attrs
         self.rows = rows
         self._columns = list(columns)
+        self._specs = dict(column_specs or {})
         self._mmap = mmap
         self._cache: Dict[str, np.ndarray] = {}
 
@@ -111,8 +125,28 @@ class ColumnGroup:
                 f"available: {', '.join(sorted(self._columns))}")
         if name not in self._cache:
             mode = "r" if self._mmap else None
-            self._cache[name] = np.load(self.path / f"{name}.npy",
-                                        mmap_mode=mode)
+            path = self.path / f"{name}.npy"
+            try:
+                array = np.load(path, mmap_mode=mode)
+            except FileNotFoundError as exc:
+                raise StoreError(
+                    f"group {self.name!r}: column file {name}.npy is "
+                    f"missing from {self.path} (meta.json lists it; "
+                    "the group is corrupt)") from exc
+            except (ValueError, OSError, EOFError) as exc:
+                raise StoreError(
+                    f"group {self.name!r}: column file {name}.npy is "
+                    f"truncated or corrupt ({exc})") from exc
+            spec = self._specs.get(name)
+            if spec is not None and (
+                    list(array.shape) != list(spec.get("shape", [])) or
+                    array.dtype.str != spec.get("dtype")):
+                raise StoreError(
+                    f"group {self.name!r}: column {name!r} on disk is "
+                    f"{array.dtype.str}{list(array.shape)} but "
+                    f"meta.json promises {spec.get('dtype')}"
+                    f"{spec.get('shape')} (torn or mismatched write)")
+            self._cache[name] = array
         return self._cache[name]
 
     def load(self, name: str) -> np.ndarray:
@@ -259,7 +293,13 @@ class ColumnStore:
     # -- reading ---------------------------------------------------------
 
     def read_group(self, name: str, mmap: bool = True) -> ColumnGroup:
-        """Open a group; columns load lazily (memmapped by default)."""
+        """Open a group; columns load lazily (memmapped by default).
+
+        Raises :class:`KeyError` for a group that simply is not there
+        and :class:`StoreError` for one that exists but is unreadable
+        (mangled ``meta.json``, bad schema) — the distinction callers
+        need to tell "not written yet" from "written and torn".
+        """
         _check_name("group", name)
         path = self.root / name
         meta_path = path / _META
@@ -267,11 +307,22 @@ class ColumnStore:
             raise KeyError(
                 f"no group {name!r} in {self.root} "
                 f"(available: {', '.join(self.groups()) or 'none'})")
-        with open(meta_path) as handle:
-            meta = json.load(handle)
-        return ColumnGroup(name, path, sorted(meta["columns"]),
-                           int(meta["rows"]), meta.get("attrs", {}),
-                           mmap=mmap)
+        try:
+            with open(meta_path) as handle:
+                meta = json.load(handle)
+        except (ValueError, OSError) as exc:
+            raise StoreError(
+                f"group {name!r}: mangled {_META} ({exc})") from exc
+        columns = meta.get("columns")
+        rows = meta.get("rows")
+        if not isinstance(meta, dict) or not isinstance(columns, dict) \
+                or not isinstance(rows, int) or rows < 0:
+            raise StoreError(
+                f"group {name!r}: {_META} does not describe a column "
+                f"group (need integer 'rows' and a 'columns' table)")
+        return ColumnGroup(name, path, sorted(columns),
+                           rows, meta.get("attrs", {}),
+                           mmap=mmap, column_specs=columns)
 
     def groups(self) -> List[str]:
         """Names of the published groups, sorted."""
@@ -289,6 +340,24 @@ class ColumnStore:
         path = self.root / name
         if path.exists():
             shutil.rmtree(path)
+
+    # -- maintenance -----------------------------------------------------
+
+    def vacuum(self) -> List[str]:
+        """Reap orphaned ``.{name}.tmp`` dirs left by crashed writers.
+
+        A writer that dies before :meth:`GroupWriter.finalize` leaves
+        its hidden tmp directory behind; readers never see it, but the
+        garbage accumulates forever.  Call this only when no writer is
+        active on the store (it cannot tell a stale tmp dir from a
+        live one).  Returns the names of the directories removed.
+        """
+        removed: List[str] = []
+        for path in sorted(self.root.glob(".*.tmp")):
+            if path.is_dir():
+                shutil.rmtree(path, ignore_errors=True)
+                removed.append(path.name)
+        return removed
 
     # -- interchange -----------------------------------------------------
 

@@ -128,3 +128,101 @@ class TestScenarioCommands:
         assert main(["chaos", "--scenarios", "no-such"]) == 2
         out = capsys.readouterr().out
         assert "available" in out
+
+
+class TestSweepParser:
+    def test_sweep_defaults(self):
+        args = build_parser().parse_args(["sweep", "--checkpoint", "ck"])
+        assert args.kind == "demo"
+        assert args.resume is False
+        assert args.workers == 1
+        assert args.timeout_s is None
+        assert args.retries == 2
+        assert args.group == "corpus"
+        assert args.output is None
+
+    def test_sweep_options(self):
+        args = build_parser().parse_args(
+            ["sweep", "--checkpoint", "ck", "--kind", "chaos",
+             "--resume", "--workers", "4", "--timeout-s", "30",
+             "--scenarios", "blockage", "--output", "out.json"])
+        assert args.kind == "chaos"
+        assert args.resume is True
+        assert args.timeout_s == 30.0
+        assert args.scenarios == "blockage"
+
+    def test_sweep_requires_checkpoint(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["sweep"])
+
+
+class TestSweepCommand:
+    def sweep_args(self, tmp_path, extra=()):
+        return ["sweep", "--kind", "demo", "--units", "3",
+                "--work", "64", "--checkpoint",
+                str(tmp_path / "ck"), "--output",
+                str(tmp_path / "out.json")] + list(extra)
+
+    def test_sweep_end_to_end(self, capsys, tmp_path):
+        assert main(self.sweep_args(tmp_path)) == 0
+        out = capsys.readouterr().out
+        assert "3 units" in out
+        assert "corpus" in out
+        assert (tmp_path / "out.json").exists()
+        # Atomic publication: no stray tmp siblings survive.
+        assert list(tmp_path.glob("*.tmp")) == []
+
+    def test_sweep_unknown_kind_exits_2(self, capsys, tmp_path):
+        assert main(["sweep", "--kind", "nope", "--checkpoint",
+                     str(tmp_path / "ck")]) == 2
+        assert "available kinds" in capsys.readouterr().out
+
+    def test_sweep_refuses_checkpoint_reuse_without_resume(
+            self, capsys, tmp_path):
+        assert main(self.sweep_args(tmp_path)) == 0
+        assert main(self.sweep_args(tmp_path)) == 2
+        assert "resume" in capsys.readouterr().out
+
+    def test_sweep_resume_reruns_nothing(self, capsys, tmp_path):
+        assert main(self.sweep_args(tmp_path)) == 0
+        first = (tmp_path / "out.json").read_bytes()
+        assert main(self.sweep_args(tmp_path, ["--resume"])) == 0
+        out = capsys.readouterr().out
+        assert "3 already checkpointed" in out
+        assert (tmp_path / "out.json").read_bytes() == first
+
+
+class TestSignalGuard:
+    def test_first_signal_defers_to_check(self):
+        import os
+        import signal as signal_module
+
+        from repro.orchestrator import SignalGuard, SweepInterrupted
+        with SignalGuard() as guard:
+            os.kill(os.getpid(), signal_module.SIGINT)
+            assert guard.triggered == signal_module.SIGINT
+            assert guard.exit_code == 130
+            with pytest.raises(SweepInterrupted) as info:
+                guard.check()
+            assert info.value.exit_code == 130
+
+    def test_second_signal_escalates(self):
+        import os
+        import signal as signal_module
+
+        from repro.orchestrator import SignalGuard
+        with SignalGuard() as guard:
+            os.kill(os.getpid(), signal_module.SIGINT)
+            with pytest.raises(KeyboardInterrupt):
+                os.kill(os.getpid(), signal_module.SIGINT)
+        assert guard.triggered == signal_module.SIGINT
+
+    def test_handlers_restored_on_exit(self):
+        import signal as signal_module
+
+        from repro.orchestrator import SignalGuard
+        before = signal_module.getsignal(signal_module.SIGTERM)
+        with SignalGuard():
+            assert signal_module.getsignal(
+                signal_module.SIGTERM) != before
+        assert signal_module.getsignal(signal_module.SIGTERM) is before

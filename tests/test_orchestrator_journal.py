@@ -1,0 +1,87 @@
+"""The completion journal under kill-at-any-byte corruption."""
+
+import pytest
+
+from repro.faults import mangle_json, tear_file
+from repro.orchestrator import Journal, JournalRecord
+
+
+def record(i):
+    return JournalRecord(unit_key=f"key{i}", group=f"u{i}",
+                         payload_sha=f"sha{i}")
+
+
+@pytest.fixture()
+def journal(tmp_path):
+    return Journal(tmp_path / "journal.ndjson")
+
+
+class TestRoundtrip:
+    def test_append_replay(self, journal):
+        for i in range(3):
+            journal.append(record(i))
+        records, dropped = journal.replay()
+        assert dropped == 0
+        assert sorted(records) == ["key0", "key1", "key2"]
+        assert records["key1"].group == "u1"
+        assert records["key1"].status == "done"
+
+    def test_missing_file_is_empty(self, journal):
+        assert journal.replay() == ({}, 0)
+
+    def test_rewritten_unit_latest_wins(self, journal):
+        journal.append(record(0))
+        journal.append(JournalRecord(unit_key="key0", group="u0",
+                                     payload_sha="sha0-after-rerun"))
+        records, _ = journal.replay()
+        assert records["key0"].payload_sha == "sha0-after-rerun"
+
+
+class TestTornWrites:
+    def test_torn_tail_is_invisible(self, journal):
+        for i in range(3):
+            journal.append(record(i))
+        # SIGKILL mid-append: the last record loses its tail bytes.
+        tear_file(journal.path, drop_bytes=7)
+        records, dropped = journal.replay()
+        assert sorted(records) == ["key0", "key1"]
+        assert dropped > 0
+
+    def test_flipped_bytes_fail_the_checksum(self, journal):
+        journal.append(record(0))
+        journal.append(record(1))
+        data = bytearray(journal.path.read_bytes())
+        # Corrupt a byte inside the *first* line's record body.
+        target = data.index(b"key0"[0], data.index(b"record"))
+        data[target] ^= 0x5A
+        journal.path.write_bytes(bytes(data))
+        records, dropped = journal.replay()
+        # Everything from the corrupt line on is untrusted.
+        assert records == {}
+        assert dropped == len(data)
+
+    def test_repair_truncates_to_good_prefix(self, journal):
+        for i in range(3):
+            journal.append(record(i))
+        good_size = None
+        # Size of the 2-record prefix = file minus the last line.
+        lines = journal.path.read_bytes().splitlines(keepends=True)
+        good_size = sum(len(line) for line in lines[:2])
+        tear_file(journal.path, drop_bytes=3)
+        journal.replay(repair=True)
+        assert journal.path.stat().st_size == good_size
+        # Appends continue cleanly from the repaired prefix.
+        journal.append(record(9))
+        records, dropped = journal.replay()
+        assert dropped == 0
+        assert sorted(records) == ["key0", "key1", "key9"]
+
+    def test_mangled_file_drops_from_corruption_on(self, journal):
+        for i in range(4):
+            journal.append(record(i))
+        mangle_json(journal.path)
+        records, dropped = journal.replay()
+        assert dropped > 0
+        # The intact prefix survives; nothing bogus is invented.
+        assert all(key in {f"key{i}" for i in range(4)}
+                   for key in records)

@@ -1,0 +1,133 @@
+"""The acceptance gate: SIGKILL a real sweep process, resume, compare.
+
+This drives ``python -m repro sweep`` as an actual subprocess — no
+in-process shortcuts — shoots it with SIGKILL once the journal shows
+progress, resumes with ``--resume``, and requires the final corpus
+*and* the payload JSON to be byte-identical to an uninterrupted
+reference run.  A SIGINT variant checks the graceful path: exit 130,
+consistent checkpoint, same bytes after resume.
+"""
+
+import filecmp
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+SRC = Path(__file__).resolve().parents[1] / "src"
+
+#: One sweep definition shared by reference, victim, and resume runs —
+#: the parameters are hashed into the manifest, so they must match.
+SWEEP_ARGS = ["--kind", "demo", "--units", "8", "--workers", "2",
+              "--seed", "13", "--work", "2048", "--sleep-s", "0.25"]
+
+
+def sweep_env():
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(SRC)
+    return env
+
+
+def run_sweep(extra, cwd):
+    return subprocess.run(
+        [sys.executable, "-m", "repro", "sweep"] + SWEEP_ARGS + extra,
+        cwd=cwd, env=sweep_env(), capture_output=True, text=True,
+        timeout=120)
+
+
+def start_sweep(extra, cwd):
+    return subprocess.Popen(
+        [sys.executable, "-m", "repro", "sweep"] + SWEEP_ARGS + extra,
+        cwd=cwd, env=sweep_env(), stdout=subprocess.DEVNULL,
+        stderr=subprocess.DEVNULL)
+
+
+def wait_for_journal_lines(journal, n, timeout_s=60.0):
+    deadline = time.monotonic() + timeout_s
+    while time.monotonic() < deadline:
+        if journal.exists() and \
+                len(journal.read_bytes().splitlines()) >= n:
+            return
+        time.sleep(0.05)
+    raise AssertionError(f"journal never reached {n} lines")
+
+
+def assert_same_corpus(cwd, ck_a, ck_b):
+    dir_a = cwd / ck_a / "store" / "corpus"
+    dir_b = cwd / ck_b / "store" / "corpus"
+    files = sorted(p.name for p in dir_a.iterdir())
+    assert files == sorted(p.name for p in dir_b.iterdir())
+    match, mismatch, errors = filecmp.cmpfiles(
+        dir_a, dir_b, files, shallow=False)
+    assert mismatch == [] and errors == []
+
+
+@pytest.fixture()
+def reference(tmp_path):
+    done = run_sweep(["--checkpoint", "ref-ck", "--output", "ref.json"],
+                     tmp_path)
+    assert done.returncode == 0, done.stdout + done.stderr
+    return tmp_path / "ref.json"
+
+
+class TestKillResume:
+    def test_sigkill_midrun_then_resume_is_byte_identical(
+            self, tmp_path, reference):
+        victim = start_sweep(
+            ["--checkpoint", "ck", "--output", "got.json"], tmp_path)
+        try:
+            wait_for_journal_lines(tmp_path / "ck" / "journal.ndjson",
+                                   2)
+            os.kill(victim.pid, signal.SIGKILL)
+        finally:
+            victim.wait(timeout=60)
+        assert victim.returncode == -signal.SIGKILL
+        assert not (tmp_path / "got.json").exists()
+
+        resumed = run_sweep(["--checkpoint", "ck", "--resume",
+                             "--output", "got.json"], tmp_path)
+        assert resumed.returncode == 0, resumed.stdout + resumed.stderr
+        assert "already checkpointed" in resumed.stdout
+
+        assert (tmp_path / "got.json").read_bytes() == \
+            reference.read_bytes()
+        assert_same_corpus(tmp_path, "ref-ck", "ck")
+
+    def test_sigint_exits_130_with_consistent_checkpoint(
+            self, tmp_path, reference):
+        victim = start_sweep(
+            ["--checkpoint", "ck", "--output", "got.json"], tmp_path)
+        try:
+            wait_for_journal_lines(tmp_path / "ck" / "journal.ndjson",
+                                   1)
+            os.kill(victim.pid, signal.SIGINT)
+        finally:
+            victim.wait(timeout=60)
+        assert victim.returncode == 130
+
+        resumed = run_sweep(["--checkpoint", "ck", "--resume",
+                             "--output", "got.json"], tmp_path)
+        assert resumed.returncode == 0, resumed.stdout + resumed.stderr
+        assert (tmp_path / "got.json").read_bytes() == \
+            reference.read_bytes()
+
+    def test_resume_without_flag_is_refused(self, tmp_path, reference):
+        clash = run_sweep(["--checkpoint", "ref-ck"], tmp_path)
+        assert clash.returncode == 2
+        assert "resume" in clash.stdout
+
+    def test_payload_is_run_independent_json(self, tmp_path, reference):
+        payload = json.loads(reference.read_text())
+        assert payload["units"] == 8
+        assert "corpus_sha256" in payload
+        # Nothing wall-clock- or host-dependent may leak in: that is
+        # what makes the interrupted and reference payloads comparable
+        # byte for byte.
+        forbidden = {"wall_s", "workers", "machine", "resumed",
+                     "elapsed_s"}
+        assert forbidden.isdisjoint(payload)

@@ -1,0 +1,91 @@
+"""The sweep manifest: two-tier content keys and the file contract."""
+
+import json
+
+import pytest
+
+from repro.orchestrator import (
+    ManifestError,
+    build_manifest,
+    canonical_json,
+    content_key,
+)
+from repro.orchestrator.manifest import (
+    read_manifest_key,
+    write_manifest,
+)
+
+
+def demo_units(n=4):
+    return [{"seed": 7, "index": i} for i in range(n)]
+
+
+class TestContentKeys:
+    def test_canonical_json_is_key_order_independent(self):
+        assert canonical_json({"b": 1, "a": 2}) == \
+            canonical_json({"a": 2, "b": 1})
+
+    def test_rejects_nan_and_unjsonable(self):
+        with pytest.raises(ManifestError):
+            canonical_json({"x": float("nan")})
+        with pytest.raises(ManifestError):
+            content_key({"x": object()})
+
+    def test_unit_keys_depend_on_every_tier1_input(self):
+        base = build_manifest("s", {"c": 1}, demo_units())
+        other_name = build_manifest("t", {"c": 1}, demo_units())
+        other_common = build_manifest("s", {"c": 2}, demo_units())
+        keys = {m.units[0].key
+                for m in (base, other_name, other_common)}
+        assert len(keys) == 3
+
+    def test_sweep_key_depends_on_unit_order(self):
+        fwd = build_manifest("s", {}, demo_units())
+        rev = build_manifest("s", {}, list(reversed(demo_units())))
+        assert fwd.sweep_key != rev.sweep_key
+        # ... but each *unit* keeps its identity under reordering.
+        assert {u.key for u in fwd.units} == {u.key for u in rev.units}
+
+    def test_rederivation_is_exact(self):
+        a = build_manifest("s", {"c": 1}, demo_units())
+        b = build_manifest("s", {"c": 1}, demo_units())
+        assert a.sweep_key == b.sweep_key
+        assert [u.key for u in a.units] == [u.key for u in b.units]
+
+
+class TestValidation:
+    def test_empty_sweep_rejected(self):
+        with pytest.raises(ManifestError, match="no work units"):
+            build_manifest("s", {}, [])
+
+    def test_duplicate_units_rejected(self):
+        units = demo_units() + [demo_units()[0]]
+        with pytest.raises(ManifestError, match="identical parameters"):
+            build_manifest("s", {}, units)
+
+
+class TestManifestFile:
+    def test_write_read_roundtrip(self, tmp_path):
+        manifest = build_manifest("s", {"c": 1}, demo_units())
+        path = tmp_path / "MANIFEST.json"
+        write_manifest(path, manifest)
+        assert read_manifest_key(path) == manifest.sweep_key
+        payload = json.loads(path.read_text())
+        assert [u["params"] for u in payload["units"]] == demo_units()
+
+    def test_unreadable_manifest_raises_manifest_error(self, tmp_path):
+        path = tmp_path / "MANIFEST.json"
+        with pytest.raises(ManifestError):
+            read_manifest_key(path)          # missing
+        path.write_text("{not json")
+        with pytest.raises(ManifestError):
+            read_manifest_key(path)          # torn
+        path.write_text('{"version": 999, "sweep_key": "x"}')
+        with pytest.raises(ManifestError):
+            read_manifest_key(path)          # wrong schema version
+
+    def test_group_names_are_stable_and_unique(self):
+        manifest = build_manifest("s", {}, demo_units(16))
+        groups = [u.group for u in manifest.units]
+        assert len(set(groups)) == len(groups)
+        assert all(g.startswith("u") and len(g) == 17 for g in groups)

@@ -1,0 +1,292 @@
+"""The supervised sweep runner: spooling, supervision, resume.
+
+The unit functions here are module-level so they survive the trip to
+worker processes regardless of start method.
+"""
+
+import time
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.faults import ProcessChaos, SimulatedCrash, kill_plan
+from repro.orchestrator import (
+    SweepConfigError,
+    SweepError,
+    SweepInterrupted,
+    SweepRunner,
+    SweepSpec,
+    UnitFailedError,
+)
+from repro.parallel import ParallelFallbackWarning
+
+
+def unit_ok(params):
+    index = int(params["index"])
+    return {"index": index, "value": index * 2.0 + 0.5}
+
+
+def unit_ok_slow(params):
+    # Same bytes as unit_ok, but slow enough that a chaos SIGKILL
+    # lands before the result is sent (a too-fast unit wins the race:
+    # a fully-sent result survives the kill by design).
+    time.sleep(0.3)
+    return unit_ok(params)
+
+
+def unit_always_raises(params):
+    raise RuntimeError(f"unit {params['index']} is broken")
+
+
+def unit_needs_retry_seed(params):
+    if "retry_seed" not in params:
+        raise RuntimeError("first attempt always fails")
+    return {"index": int(params["index"]),
+            "value": float(int(params["retry_seed"]) % 1000)}
+
+
+def unit_slow_until_flagged(params):
+    flag = Path(params["flag_dir"]) / f"attempted-{params['index']}"
+    if not flag.exists():
+        flag.touch()
+        time.sleep(60.0)
+    return {"index": int(params["index"])}
+
+
+def spec_ok(n=5, retry_seed_param=None, fn=unit_ok):
+    return SweepSpec(
+        name="runner-test",
+        unit_fn=fn,
+        unit_params=tuple({"index": i} for i in range(n)),
+        common={"flavour": "test"},
+        retry_seed_param=retry_seed_param)
+
+
+def complete(spec, checkpoint, **kwargs):
+    """Run a sweep start-to-finish; returns (result, payload)."""
+    runner = SweepRunner(spec, checkpoint, **kwargs)
+    runner.prepare()
+    result = runner.run()
+    _, payload = runner.finalize()
+    return result, payload
+
+
+@pytest.fixture()
+def reference_sha(tmp_path):
+    """The corpus hash of an uninterrupted serial run."""
+    _, payload = complete(spec_ok(), tmp_path / "reference")
+    return payload["corpus_sha256"]
+
+
+class TestHappyPath:
+    def test_pooled_equals_serial(self, tmp_path, reference_sha):
+        result, payload = complete(spec_ok(), tmp_path / "pooled",
+                                   workers=3)
+        assert result.ran == 5 and not result.failed
+        assert payload["corpus_sha256"] == reference_sha
+
+    def test_corpus_rows_in_manifest_order(self, tmp_path):
+        runner = SweepRunner(spec_ok(), tmp_path / "ck", workers=2)
+        runner.prepare()
+        runner.run()
+        group, payload = runner.finalize()
+        assert np.array_equal(np.asarray(group["index"]).ravel(),
+                              np.arange(5))
+        assert payload["units"] == 5
+        assert payload["summary"]["value"]["min"] == 0.5
+
+    def test_payload_has_no_run_dependent_fields(self, tmp_path):
+        _, serial = complete(spec_ok(), tmp_path / "a")
+        _, pooled = complete(spec_ok(), tmp_path / "b", workers=4)
+        assert serial == pooled
+
+    def test_resume_of_finished_sweep_skips_everything(self, tmp_path):
+        _, first = complete(spec_ok(), tmp_path / "ck")
+        runner = SweepRunner(spec_ok(), tmp_path / "ck")
+        status = runner.prepare(resume=True)
+        assert status.done == 5 and status.pending == 0
+        result = runner.run()
+        assert result.skipped == 5 and result.ran == 0
+        _, again = runner.finalize()
+        assert again == first
+
+
+class TestPrepareGuards:
+    def test_existing_checkpoint_needs_resume(self, tmp_path):
+        complete(spec_ok(), tmp_path / "ck")
+        runner = SweepRunner(spec_ok(), tmp_path / "ck")
+        with pytest.raises(SweepConfigError, match="resume"):
+            runner.prepare()
+
+    def test_checkpoint_of_different_sweep_rejected(self, tmp_path):
+        complete(spec_ok(), tmp_path / "ck")
+        other = spec_ok(n=7)
+        runner = SweepRunner(other, tmp_path / "ck")
+        with pytest.raises(SweepConfigError, match="different sweep"):
+            runner.prepare(resume=True)
+
+    def test_finalize_requires_completion(self, tmp_path):
+        runner = SweepRunner(spec_ok(), tmp_path / "ck")
+        runner.prepare()
+        with pytest.raises(SweepError, match="incomplete"):
+            runner.finalize()
+
+    def test_run_requires_prepare(self, tmp_path):
+        runner = SweepRunner(spec_ok(), tmp_path / "ck")
+        with pytest.raises(SweepError, match="prepare"):
+            runner.run()
+
+
+class TestKillAtEveryBoundary:
+    def test_interrupt_resume_chain_is_byte_identical(
+            self, tmp_path, reference_sha):
+        """Stop at checkpoint boundary k for every k, resuming each
+        time; the final corpus must match an uninterrupted run."""
+        checkpoint = tmp_path / "chain"
+        for boundary in range(1, 6):
+            runner = SweepRunner(spec_ok(), checkpoint, workers=2,
+                                 stop_after_units=boundary)
+            status = runner.prepare(resume=(boundary > 1))
+            assert status.done == boundary - 1
+            with pytest.raises(SweepInterrupted) as info:
+                runner.run()
+            assert info.value.exit_code == 143
+        final = SweepRunner(spec_ok(), checkpoint)
+        assert final.prepare(resume=True).pending == 0
+        final.run()
+        _, payload = final.finalize()
+        assert payload["corpus_sha256"] == reference_sha
+
+
+class TestWorkerSupervision:
+    def test_sigkilled_workers_are_retried(self, tmp_path,
+                                           reference_sha):
+        plan = kill_plan(seed=5, n_units=5, kills=2)
+        chaos = ProcessChaos(kill_units=plan)
+        runner = SweepRunner(spec_ok(fn=unit_ok_slow), tmp_path / "ck",
+                             workers=2, chaos=chaos)
+        runner.prepare()
+        result = runner.run()
+        assert result.infra_retries == 2
+        assert sum(chaos.kills_delivered.values()) == 2
+        _, payload = runner.finalize()
+        assert payload["corpus_sha256"] == reference_sha
+
+    def test_poisoned_unit_escalates_to_serial(self, tmp_path,
+                                               reference_sha):
+        # Unit 3's worker dies on every attempt; past the retry budget
+        # the runner runs it in-parent, where nothing shoots it.
+        chaos = ProcessChaos(kill_units={3: 99})
+        runner = SweepRunner(spec_ok(fn=unit_ok_slow), tmp_path / "ck",
+                             workers=2, retries=1, chaos=chaos)
+        runner.prepare()
+        result = runner.run()
+        assert result.escalations == 1
+        assert result.infra_retries == 1
+        _, payload = runner.finalize()
+        assert payload["corpus_sha256"] == reference_sha
+
+    def test_hung_unit_is_killed_and_retried(self, tmp_path):
+        flags = tmp_path / "flags"
+        flags.mkdir()
+        spec = SweepSpec(
+            name="hang-test",
+            unit_fn=unit_slow_until_flagged,
+            unit_params=({"index": 0, "flag_dir": str(flags)},),
+            common={})
+        runner = SweepRunner(spec, tmp_path / "ck", workers=1,
+                             timeout_s=0.8, retries=2)
+        runner.prepare()
+        result = runner.run()
+        assert result.infra_retries == 1
+        assert result.ran == 1
+
+    def test_fn_failures_get_derived_retry_seeds(self, tmp_path):
+        spec = spec_ok(fn=unit_needs_retry_seed,
+                       retry_seed_param="retry_seed")
+        result_a, payload_a = complete(spec, tmp_path / "a", workers=2)
+        assert result_a.fn_retries == 5
+        # The derived seeds are a pure function of the unit keys, so a
+        # rerun (any worker count) lands on identical bytes.
+        _, payload_b = complete(spec, tmp_path / "b")
+        assert payload_a == payload_b
+
+    def test_units_failing_serially_raise_after_the_rest(
+            self, tmp_path):
+        spec = spec_ok(fn=unit_always_raises)
+        runner = SweepRunner(spec, tmp_path / "ck", workers=2,
+                             retries=0)
+        runner.prepare()
+        with pytest.raises(UnitFailedError, match="5 unit"):
+            runner.run()
+        # Nothing bogus was journaled: a resume still owes five units.
+        again = SweepRunner(spec_ok(), tmp_path / "ck")
+        assert again.prepare(resume=True).pending == 5
+
+    def test_fallback_runs_inline_when_processes_unavailable(
+            self, tmp_path, reference_sha, monkeypatch):
+        def no_processes(fn, arg):
+            raise OSError("no processes allowed here")
+
+        monkeypatch.setattr("repro.orchestrator.runner.PendingCall",
+                            no_processes)
+        runner = SweepRunner(spec_ok(), tmp_path / "ck", workers=4)
+        runner.prepare()
+        with pytest.warns(ParallelFallbackWarning):
+            result = runner.run()
+        assert result.ran == 5
+        _, payload = runner.finalize()
+        assert payload["corpus_sha256"] == reference_sha
+
+
+class TestTornWindows:
+    def test_crash_between_publish_and_journal(self, tmp_path,
+                                               reference_sha):
+        chaos = ProcessChaos(crash_on_publish_of=2)
+        runner = SweepRunner(spec_ok(), tmp_path / "ck", workers=1,
+                             chaos=chaos)
+        runner.prepare()
+        with pytest.raises(SimulatedCrash):
+            runner.run()
+        # The group landed but was never journaled: indistinguishable
+        # from "not done", so resume re-runs it and bytes still match.
+        resumed = SweepRunner(spec_ok(), tmp_path / "ck", workers=2)
+        status = resumed.prepare(resume=True)
+        assert status.pending >= 1
+        resumed.run()
+        _, payload = resumed.finalize()
+        assert payload["corpus_sha256"] == reference_sha
+
+    def test_crash_at_checkpoint_boundary(self, tmp_path,
+                                          reference_sha):
+        chaos = ProcessChaos(crash_after_units=3)
+        runner = SweepRunner(spec_ok(), tmp_path / "ck", workers=1,
+                             chaos=chaos)
+        runner.prepare()
+        with pytest.raises(SimulatedCrash):
+            runner.run()
+        resumed = SweepRunner(spec_ok(), tmp_path / "ck")
+        status = resumed.prepare(resume=True)
+        assert status.done == 3
+        resumed.run()
+        _, payload = resumed.finalize()
+        assert payload["corpus_sha256"] == reference_sha
+
+    def test_corrupt_spooled_group_is_rerun(self, tmp_path,
+                                            reference_sha):
+        first = SweepRunner(spec_ok(), tmp_path / "ck")
+        first.prepare()
+        first.run()
+        # Truncate one spooled unit's column file behind the journal's
+        # back; the payload-sha check must catch it on resume.
+        unit = first.manifest.units[1]
+        column = (tmp_path / "ck" / "store" / unit.group /
+                  "value.npy")
+        column.write_bytes(column.read_bytes()[:16])
+        resumed = SweepRunner(spec_ok(), tmp_path / "ck")
+        status = resumed.prepare(resume=True)
+        assert status.done == 4 and status.pending == 1
+        resumed.run()
+        _, payload = resumed.finalize()
+        assert payload["corpus_sha256"] == reference_sha

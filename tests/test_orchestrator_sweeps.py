@@ -1,0 +1,63 @@
+"""The sweep catalogue: specs are well-formed, demo runs end to end."""
+
+import numpy as np
+import pytest
+
+from repro.orchestrator import SweepRunner, build_sweep, list_kinds
+from repro.orchestrator.sweeps import _demo_unit
+
+
+class TestCatalogue:
+    def test_kinds_listed(self):
+        assert list_kinds() == ["demo", "calibration", "chaos"]
+
+    def test_unknown_kind_raises(self):
+        with pytest.raises(KeyError, match="available"):
+            build_sweep("frobnicate", seed=1)
+
+    def test_demo_spec_shape(self):
+        spec = build_sweep("demo", seed=9, units=3, work=100)
+        assert spec.name == "demo"
+        assert len(spec.unit_params) == 3
+        assert spec.unit_params[1] == {"seed": 9, "index": 1,
+                                      "work": 100, "sleep_s": 0.0}
+
+    def test_calibration_spec_enumerates_worlds(self):
+        spec = build_sweep("calibration", seed=20, units=4, trials=6)
+        seeds = [p["seed"] for p in spec.unit_params]
+        assert seeds == [20, 21, 22, 23]
+        assert all(p["trials"] == 6 for p in spec.unit_params)
+
+    def test_chaos_spec_covers_named_scenarios(self):
+        spec = build_sweep("chaos", seed=0,
+                           scenarios=["blockage", "drift-remap"])
+        assert [p["scenario"] for p in spec.unit_params] == \
+            ["blockage", "drift-remap"]
+        with pytest.raises(KeyError):
+            build_sweep("chaos", seed=0, scenarios=["nope"])
+
+    def test_units_must_be_positive(self):
+        with pytest.raises(ValueError):
+            build_sweep("demo", seed=1, units=0)
+
+
+class TestDemoUnits:
+    def test_unit_is_deterministic_in_params(self):
+        params = {"seed": 5, "index": 2, "work": 256}
+        assert _demo_unit(params) == _demo_unit(dict(params))
+
+    def test_distinct_units_draw_distinct_streams(self):
+        rows = [_demo_unit({"seed": 5, "index": i, "work": 256})
+                for i in range(3)]
+        assert len({row["mean"] for row in rows}) == 3
+
+    def test_demo_sweep_end_to_end(self, tmp_path):
+        spec = build_sweep("demo", seed=3, units=4, work=64)
+        runner = SweepRunner(spec, tmp_path / "ck", workers=2)
+        runner.prepare()
+        runner.run()
+        group, payload = runner.finalize()
+        assert np.array_equal(np.asarray(group["index"]).ravel(),
+                              np.arange(4))
+        assert payload["sweep"] == "demo"
+        assert set(payload["columns"]) == {"index", "mean", "rms"}

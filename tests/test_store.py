@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.store import ColumnStore
+from repro.store import ColumnStore, StoreError
 
 
 @pytest.fixture()
@@ -127,3 +127,69 @@ class TestInterchange:
         for name, array in columns.items():
             assert np.array_equal(group[name], array)
         assert group.attrs == {"seed": 3}
+
+
+class TestCorruptionSurfacesStoreError:
+    """Torn or mangled on-disk state must raise StoreError, never
+    numpy garbage or a bare ValueError (satellite of the crash-safe
+    sweep work: resume verification leans on these)."""
+
+    def test_truncated_column_file(self, store):
+        store.write_group("traces", demo_columns())
+        column = store.root / "traces" / "values.npy"
+        column.write_bytes(column.read_bytes()[:12])
+        group = store.read_group("traces")
+        with pytest.raises(StoreError, match="truncated or corrupt"):
+            group["values"]
+
+    def test_missing_column_file(self, store):
+        store.write_group("traces", demo_columns())
+        (store.root / "traces" / "flags.npy").unlink()
+        group = store.read_group("traces")
+        with pytest.raises(StoreError, match="missing"):
+            group["flags"]
+
+    def test_wrong_shape_on_disk(self, store):
+        store.write_group("traces", demo_columns())
+        # Swap in a valid .npy with the wrong shape: a torn write that
+        # happens to parse must still be rejected against the meta.
+        np.save(store.root / "traces" / "values.npy", np.zeros(2))
+        group = store.read_group("traces")
+        with pytest.raises(StoreError, match="torn or mismatched"):
+            group["values"]
+
+    def test_mangled_meta_json(self, store):
+        from repro.faults import mangle_json
+        store.write_group("traces", demo_columns())
+        mangle_json(store.root / "traces" / "meta.json")
+        with pytest.raises(StoreError, match="meta.json"):
+            store.read_group("traces")
+
+    def test_meta_with_wrong_schema(self, store):
+        store.write_group("traces", demo_columns())
+        (store.root / "traces" / "meta.json").write_text(
+            '{"columns": 7}')
+        with pytest.raises(StoreError):
+            store.read_group("traces")
+
+    def test_absent_group_still_keyerror(self, store):
+        # Genuinely-missing groups are a programming error, not
+        # corruption; the exception type must not change.
+        with pytest.raises(KeyError):
+            store.read_group("never-written")
+
+
+class TestVacuum:
+    def test_reaps_orphaned_tmp_dirs(self, store):
+        store.write_group("keep", demo_columns())
+        orphan = store.root / ".crashed.tmp"
+        orphan.mkdir()
+        (orphan / "values.npy").write_bytes(b"partial")
+        removed = store.vacuum()
+        assert removed == [".crashed.tmp"]
+        assert not orphan.exists()
+        assert store.has_group("keep")
+
+    def test_noop_on_clean_store(self, store):
+        store.write_group("keep", demo_columns())
+        assert store.vacuum() == []
