@@ -18,7 +18,15 @@ families over it:
 * **T-series** — RNG provenance taint: generators minted only inside
   ``repro.determinism``, no RNG object crossing the ``parallel_map``
   process boundary, and every stochastic sink threaded a traceable
-  ``rng=`` / ``seed=``.
+  ``rng=`` / ``seed=``;
+* **C-series** — static race detection over the per-function effect
+  summaries of :mod:`.effects`: workers mutating module globals,
+  absolute-index writes that can overlap across chunks, fork-unsafe
+  resources reaching a worker, and unordered item enumerations;
+* **W-series** — crash safety: truncating writes to published paths
+  (tmp→rename scopes are proven safe interprocedurally), publish
+  renames without a preceding fsync, and journal/manifest mutation
+  outside the orchestrator's checksummed append path.
 
 Run it as ``python -m repro analyze``.  The index is cached on disk
 keyed by content hash (warm re-runs skip parsing entirely) and
@@ -33,6 +41,12 @@ from .analyzer import (
     load_baseline,
     run_program_rules,
     write_baseline,
+)
+from .effects import (
+    EffectSummary,
+    EffectTable,
+    effect_table,
+    effects_key,
 )
 from .extract import extract_module, module_name_for
 from .index import (
@@ -63,6 +77,8 @@ __all__ = [
     "ClassInfo",
     "DEFAULT_BASELINE",
     "DEFAULT_CACHE_DIR",
+    "EffectSummary",
+    "EffectTable",
     "FunctionInfo",
     "ImportedName",
     "ModuleInfo",
@@ -74,6 +90,8 @@ __all__ = [
     "all_program_rules",
     "analyze_paths",
     "build_index",
+    "effect_table",
+    "effects_key",
     "extract_module",
     "load_baseline",
     "module_name_for",

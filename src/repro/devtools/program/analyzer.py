@@ -14,8 +14,14 @@ import json
 from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Sequence, Set, Tuple
 
+from ...store.atomic import write_json_atomic
 from ..engine import LintResult, iter_python_files
 from ..findings import Finding
+from .effects import (
+    EFFECTS_SCHEMA_VERSION,
+    attach_cached_table,
+    serialized_table,
+)
 from .index import (
     DEFAULT_CACHE_DIR,
     ProjectIndex,
@@ -24,6 +30,7 @@ from .index import (
     load_cache,
     save_cache,
 )
+from .model import INDEX_SCHEMA_VERSION
 from .registry import resolve_program_selection
 
 #: Schema version of the committed baseline file.
@@ -77,9 +84,7 @@ def write_baseline(path: str, findings: Sequence[Finding]) -> None:
             {"path": p, "rule": r, "message": m}
             for p, r, m in entries],
     }
-    with open(path, "w", encoding="utf-8") as handle:
-        json.dump(payload, handle, indent=2, sort_keys=True)
-        handle.write("\n")
+    write_json_atomic(path, payload, indent=2, sort_keys=True)
 
 
 def run_program_rules(index: ProjectIndex,
@@ -110,8 +115,10 @@ def _run_key(shas: Dict[str, str],
     rules = [rule.rule_id
              for rule in resolve_program_selection(select=select,
                                                    ignore=ignore)]
-    payload = json.dumps([sorted(shas.items()), sorted(rules)],
-                         sort_keys=True)
+    payload = json.dumps(
+        [INDEX_SCHEMA_VERSION, EFFECTS_SCHEMA_VERSION,
+         sorted(shas.items()), sorted(rules)],
+        sort_keys=True)
     return file_sha(payload)
 
 
@@ -160,6 +167,12 @@ def analyze_paths(paths: Sequence[str],
     index = build_index(paths, cache_dir=cache_dir,
                         cached_payload=payload if cache_dir else None,
                         save=False)
+    if cache_dir is not None:
+        # Third cache tier: reuse the effect-inference fixpoint when
+        # every input file is unchanged (e.g. a warm run with a
+        # different --select missed the results tier but can still
+        # skip re-deriving effect summaries).
+        attach_cached_table(index, payload.get("effects", {}))
     raw, suppressed = run_program_rules(index, select=select,
                                         ignore=ignore)
     for path, line, message in index.syntax_errors:
@@ -172,7 +185,8 @@ def analyze_paths(paths: Sequence[str],
     if cache_dir is not None:
         files: Dict[str, Any] = dict(payload.get("files", {}))
         files.update(index.cache_entries)
-        save_cache(cache_dir, {
+        effects = serialized_table(index) or payload.get("effects")
+        next_payload: Dict[str, Any] = {
             "files": files,
             "results": {
                 "key": run_key,
@@ -180,7 +194,10 @@ def analyze_paths(paths: Sequence[str],
                 "suppressed": suppressed,
                 "files_checked": files_checked,
             },
-        })
+        }
+        if effects is not None:
+            next_payload["effects"] = effects
+        save_cache(cache_dir, next_payload)
 
     return _finish(raw, baseline_path, files_checked=files_checked,
                    suppressed=suppressed,

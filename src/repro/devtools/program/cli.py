@@ -59,6 +59,10 @@ def add_analyze_arguments(parser: argparse.ArgumentParser) -> None:
         "--warn-only", action="store_true",
         help="report findings but exit 0 (survey mode)")
     parser.add_argument(
+        "--max-waivers", type=int, default=None, metavar="N",
+        help="fail when more than N findings are suppressed via "
+             "noqa (waiver budget; default: unlimited)")
+    parser.add_argument(
         "--stats", action="store_true",
         help="print index/cache statistics after the report")
     parser.add_argument(
@@ -124,6 +128,13 @@ def run_analyze(args: argparse.Namespace) -> int:
         print(f"index: {result.files_checked} modules "
               f"({result.from_cache} cached, {result.extracted} "
               f"extracted) in {elapsed:.3f} s")
+    if args.max_waivers is not None and \
+            result.suppressed > args.max_waivers:
+        print(f"analyze: {result.suppressed} noqa waiver"
+              f"{'s' if result.suppressed != 1 else ''} exceed the "
+              f"budget of {args.max_waivers}; remove suppressions or "
+              "raise --max-waivers deliberately")
+        return 1
     if result.findings and not args.warn_only:
         return 1
     return 0

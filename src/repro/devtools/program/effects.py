@@ -1,0 +1,714 @@
+"""Interprocedural effect inference over the resolved call graph.
+
+Every function in the index gets a conservative :class:`EffectSummary`
+— does it mutate module globals, write files (and to what kind of
+path), rename, fsync, spawn workers, hold fork-unsafe resources — and
+the summaries are propagated to a fixpoint along two edge kinds:
+
+* **call edges** (caller → resolved callee): a caller inherits its
+  callee's effects.  Writes whose destination is a callee *parameter*
+  are substituted at each call site: an argument that is itself a tmp
+  path is proven safe, an argument that is the caller's own parameter
+  re-parameterizes the write one level up, and anything else becomes a
+  *published* write attributed at the call site.  This is how
+  ``_write_meta(path, ...)`` — a raw ``open(path, "w")`` — is proven
+  harmless: every caller hands it a hidden ``.tmp`` directory.
+* **containment edges** (enclosing function → nested def): defining a
+  closure is treated as potentially executing it, matching the
+  conservative per-function fact walk in :mod:`.extract`.
+
+The race rules (:mod:`.rules_concurrency`) consume ``mutates_globals``
+/ ``reads_globals`` / ``resources`` / ``index_writes``; the
+crash-safety rules (:mod:`.rules_crashsafety`) consume the write /
+rename / fsync events.  The finished table is persisted in the
+analyzer's content-hash cache (keyed by every input file's SHA plus
+the schema versions), so a warm run that re-runs the rules — e.g.
+with a different ``--select`` — skips the fixpoint entirely.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import (
+    Any,
+    Dict,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
+
+from .index import ProjectIndex, file_sha
+from .model import (
+    INDEX_SCHEMA_VERSION,
+    CallSite,
+    FunctionInfo,
+    ModuleInfo,
+    ValueDesc,
+)
+
+#: Bump when the summary shape or inference semantics change.
+EFFECTS_SCHEMA_VERSION = 1
+
+#: Callee leaves that hand back a fork-unsafe resource when bound.
+RESOURCE_PRODUCERS: Mapping[str, str] = {
+    "open": "open file handle",
+    "memmap": "memmap",
+    "open_memmap": "memmap",
+    "SharedMemory": "SharedMemory segment",
+    "NamedTemporaryFile": "open file handle",
+    "TemporaryFile": "open file handle",
+    "Pipe": "pipe",
+}
+
+#: Callee leaves that push work onto worker processes.
+SPAWN_LEAVES = frozenset({
+    "parallel_map", "parallel_map_arrays", "PendingCall", "Process",
+    "ProcessPoolExecutor", "Pool"})
+
+#: ``np.save``-family leaves: a whole-file write to their path arg.
+_NP_WRITE_LEAVES = frozenset({
+    "save", "savez", "savez_compressed", "savetxt"})
+
+#: Substrings marking a path expression as a tmp/scratch sibling.
+_TMP_TOKENS = ("tmp", "temp", "scratch")
+
+#: The one module sanctioned to do raw write→fsync→rename plumbing.
+ATOMIC_MODULE = "repro.store.atomic"
+
+
+@dataclass(frozen=True)
+class WriteEvent:
+    """One file-write (or rename) anchored at a source location.
+
+    ``scope`` is ``"tmp"`` (destination inside a tmp→rename scope),
+    ``"published"`` (a path a reader could observe), or ``"param:<p>"``
+    (destination is the enclosing function's parameter ``p`` — resolved
+    at call sites during propagation).  ``via`` names the anchor, with
+    ``→`` marking writes inherited through a callee.  ``mode`` is
+    ``"w"`` for truncating/creating writes, ``"a"`` for appends and
+    ``"u"`` for in-place updates (``r+`` modes) — only ``"w"`` events
+    are non-atomic *publication* (W001); the others still count as
+    journal/manifest mutations (W003).
+    """
+
+    module: str
+    lineno: int
+    col: int
+    via: str
+    scope: str
+    detail: str
+    mode: str = "w"
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"module": self.module, "lineno": self.lineno,
+                "col": self.col, "via": self.via, "scope": self.scope,
+                "detail": self.detail, "mode": self.mode}
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "WriteEvent":
+        return cls(module=payload["module"], lineno=payload["lineno"],
+                   col=payload["col"], via=payload["via"],
+                   scope=payload["scope"], detail=payload["detail"],
+                   mode=payload["mode"])
+
+
+@dataclass(frozen=True)
+class RenameEvent:
+    """One ``os.replace``-style publish rename."""
+
+    module: str
+    lineno: int
+    col: int
+    detail: str
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"module": self.module, "lineno": self.lineno,
+                "col": self.col, "detail": self.detail}
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "RenameEvent":
+        return cls(module=payload["module"], lineno=payload["lineno"],
+                   col=payload["col"], detail=payload["detail"])
+
+
+@dataclass
+class EffectSummary:
+    """Conservative effects of one function (direct + propagated)."""
+
+    key: str                          # "module.qualname"
+    mutates_globals: Set[str] = field(default_factory=set)
+    reads_globals: Set[str] = field(default_factory=set)
+    writes_any: bool = False
+    fsyncs: bool = False
+    spawns_worker: bool = False
+    renames: Tuple[RenameEvent, ...] = ()
+    param_writes: Set[Tuple[str, str]] = field(default_factory=set)
+    resources: Dict[str, Tuple[str, int]] = field(default_factory=dict)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "key": self.key,
+            "mutates_globals": sorted(self.mutates_globals),
+            "reads_globals": sorted(self.reads_globals),
+            "writes_any": self.writes_any,
+            "fsyncs": self.fsyncs,
+            "spawns_worker": self.spawns_worker,
+            "renames": [r.to_dict() for r in self.renames],
+            "param_writes": sorted(list(pair)
+                                   for pair in self.param_writes),
+            "resources": {name: list(value) for name, value
+                          in sorted(self.resources.items())},
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "EffectSummary":
+        return cls(
+            key=payload["key"],
+            mutates_globals=set(payload["mutates_globals"]),
+            reads_globals=set(payload["reads_globals"]),
+            writes_any=payload["writes_any"],
+            fsyncs=payload["fsyncs"],
+            spawns_worker=payload["spawns_worker"],
+            renames=tuple(RenameEvent.from_dict(r)
+                          for r in payload["renames"]),
+            param_writes={(p, v) for p, v in payload["param_writes"]},
+            resources={name: (value[0], value[1]) for name, value
+                       in payload["resources"].items()})
+
+
+@dataclass
+class EffectTable:
+    """The full program's effect summaries plus derived write events.
+
+    ``published_writes`` holds every write whose destination is a path
+    a reader could observe: direct anchors plus the ones derived by
+    resolving a callee's parameter-scoped write at a call site.
+    ``module_resources`` maps each module to its module-level resource
+    bindings (``HANDLE = open(...)`` at import time).
+    """
+
+    summaries: Dict[str, EffectSummary] = field(default_factory=dict)
+    module_resources: Dict[str, Dict[str, Tuple[str, int]]] = \
+        field(default_factory=dict)
+    published_writes: Tuple[WriteEvent, ...] = ()
+    journal_events: Tuple[WriteEvent, ...] = ()
+    from_cache: bool = False
+
+    def summary(self, module: str,
+                qualname: str) -> Optional[EffectSummary]:
+        return self.summaries.get(f"{module}.{qualname}")
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "summaries": {key: summary.to_dict() for key, summary
+                          in sorted(self.summaries.items())},
+            "module_resources": {
+                module: {name: list(value) for name, value
+                         in sorted(bindings.items())}
+                for module, bindings
+                in sorted(self.module_resources.items())},
+            "published_writes": [w.to_dict()
+                                 for w in self.published_writes],
+            "journal_events": [w.to_dict()
+                               for w in self.journal_events],
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "EffectTable":
+        return cls(
+            summaries={key: EffectSummary.from_dict(s)
+                       for key, s in payload["summaries"].items()},
+            module_resources={
+                module: {name: (value[0], value[1])
+                         for name, value in bindings.items()}
+                for module, bindings
+                in payload["module_resources"].items()},
+            published_writes=tuple(
+                WriteEvent.from_dict(w)
+                for w in payload["published_writes"]),
+            journal_events=tuple(
+                WriteEvent.from_dict(w)
+                for w in payload["journal_events"]),
+            from_cache=True)
+
+
+def effects_key(index: ProjectIndex) -> str:
+    """Content hash the cached effect table is valid for."""
+    shas = sorted((info.path, info.sha)
+                  for info in index.modules.values())
+    return file_sha(repr((INDEX_SCHEMA_VERSION, EFFECTS_SCHEMA_VERSION,
+                          shas)))
+
+
+# -- location helpers --------------------------------------------------------
+
+
+def _leaf(dotted: str) -> str:
+    return dotted.rsplit(".", 1)[-1]
+
+
+def owner_of(info: ModuleInfo, scope: str) -> str:
+    """Innermost enclosing *function* qualname of a scope string.
+
+    ``in_function`` may name a class body or a nested non-function
+    scope; walk outward until an actual function is found ("" for
+    module level).
+    """
+    parts = scope.split(".") if scope else []
+    while parts:
+        qualname = ".".join(parts)
+        if qualname in info.functions:
+            return qualname
+        parts.pop()
+    return ""
+
+
+def resolve_worker(index: ProjectIndex, module: str, call: CallSite,
+                   desc: ValueDesc
+                   ) -> Optional[Tuple[str, str, FunctionInfo]]:
+    """Resolve a callable argument to a project function.
+
+    Handles nested defs in the enclosing scope chain (closures passed
+    as workers), module-level functions, and imported names — returns
+    ``(module, qualname, FunctionInfo)`` or None for lambdas, partials
+    and anything outside the index.
+    """
+    if desc.kind not in ("name", "attr") or not desc.text:
+        return None
+    info = index.modules.get(module)
+    if info is None:
+        return None
+    if desc.kind == "name":
+        parts = call.in_function.split(".") if call.in_function else []
+        while parts:
+            qualname = ".".join(parts + [desc.text])
+            if qualname in info.functions:
+                return module, qualname, info.functions[qualname]
+            parts.pop()
+        if desc.text in info.functions:
+            return module, desc.text, info.functions[desc.text]
+    probe = CallSite(func=desc.text, lineno=call.lineno, col=call.col)
+    callee = index.resolve_call(module, probe)
+    if callee is not None and callee.kind == "function" and \
+            callee.function is not None:
+        return callee.module, callee.name, callee.function
+    return None
+
+
+# -- path classification -----------------------------------------------------
+
+
+def _is_tmpish(text: str, names: Sequence[str],
+               consts: Sequence[str]) -> bool:
+    blob = " ".join([text, *names, *consts]).lower()
+    return any(token in blob for token in _TMP_TOKENS)
+
+
+def classify_path(desc: ValueDesc,
+                  params: Sequence[str]) -> Tuple[str, str]:
+    """(scope, detail) of a path expression inside a function.
+
+    Tmp tokens win over parameters: ``path + ".tmp"`` is a tmp sibling
+    even when ``path`` is a parameter — this is how W001 "sees"
+    tmp→rename scopes.
+    """
+    detail = desc.text or (desc.consts[0] if desc.consts
+                           else (desc.names[0] if desc.names else
+                                 desc.kind))
+    if _is_tmpish(desc.text, desc.names, desc.consts):
+        return "tmp", detail
+    root = desc.text.split(".")[0] if desc.text else ""
+    if root in params:
+        return f"param:{root}", detail
+    for name in desc.names:
+        if name in params:
+            return f"param:{name}", detail
+    return "published", detail
+
+
+def _classify_receiver(receiver: str,
+                       params: Sequence[str]) -> Tuple[str, str]:
+    """Like :func:`classify_path` for a dotted method receiver."""
+    if _is_tmpish(receiver, (), ()):
+        return "tmp", receiver
+    if receiver.split(".")[0] in params:
+        return f"param:{receiver.split('.')[0]}", receiver
+    return "published", receiver
+
+
+def _argument(call: CallSite, position: int,
+              keyword: Optional[str]) -> Optional[ValueDesc]:
+    if 0 <= position < len(call.args):
+        return call.args[position]
+    if keyword is not None:
+        for name, value in call.keywords:
+            if name == keyword:
+                return value
+    return None
+
+
+def _const_text(desc: Optional[ValueDesc]) -> Optional[str]:
+    if desc is None or desc.kind != "const":
+        return None
+    text = desc.text
+    if len(text) >= 2 and text[0] in "'\"" and text[-1] == text[0]:
+        return text[1:-1]
+    return None
+
+
+def _open_mode(call: CallSite, position: int) -> Optional[str]:
+    """The constant mode string of an ``open`` call, if knowable."""
+    desc = _argument(call, position, "mode")
+    if desc is None:
+        return "r"  # open() defaults to reading
+    return _const_text(desc)
+
+
+# -- direct fact extraction --------------------------------------------------
+
+
+def _direct_write(call: CallSite,
+                  params: Sequence[str]) -> Optional[WriteEvent]:
+    """The write event a single call site anchors, if any."""
+    if not call.func:
+        return None
+    leaf = _leaf(call.func)
+    root = call.func.split(".")[0]
+    if leaf == "open":
+        if call.func == "open":
+            path, mode = _argument(call, 0, "file"), _open_mode(call, 1)
+            if path is None or mode is None:
+                return None
+            scope, detail = classify_path(path, params)
+        else:
+            receiver = call.func[:-len(".open")]
+            mode = _open_mode(call, 0)
+            if mode is None:
+                return None
+            scope, detail = _classify_receiver(receiver, params)
+        if mode.startswith("r") and "+" not in mode:
+            return None
+        if mode.startswith("a"):
+            kind = "a"
+        elif "+" in mode and not mode.startswith(("w", "x")):
+            kind = "u"
+        else:
+            kind = "w"
+        return WriteEvent(module="", lineno=call.lineno, col=call.col,
+                          via=call.func, scope=scope, detail=detail,
+                          mode=kind)
+    if root in ("np", "numpy") and leaf in _NP_WRITE_LEAVES:
+        path = _argument(call, 0, "file")
+        if path is None:
+            return None
+        scope, detail = classify_path(path, params)
+        return WriteEvent(module="", lineno=call.lineno, col=call.col,
+                          via=call.func, scope=scope, detail=detail)
+    if leaf in ("write_text", "write_bytes") and "." in call.func:
+        receiver = call.func[:-(len(leaf) + 1)]
+        scope, detail = _classify_receiver(receiver, params)
+        return WriteEvent(module="", lineno=call.lineno, col=call.col,
+                          via=call.func, scope=scope, detail=detail)
+    return None
+
+
+def _direct_rename(call: CallSite) -> Optional[RenameEvent]:
+    if not call.func:
+        return None
+    leaf = _leaf(call.func)
+    root = call.func.split(".")[0]
+    if root in ("os", "shutil") and leaf in ("replace", "rename",
+                                             "move"):
+        dst = _argument(call, 1, "dst")
+        detail = (dst.text or "...") if dst is not None else "..."
+        return RenameEvent(module="", lineno=call.lineno, col=call.col,
+                           detail=detail)
+    # Path.replace / Path.rename take exactly one argument;
+    # str.replace takes two — the arity disambiguates them.
+    if leaf in ("replace", "rename") and "." in call.func and \
+            len(call.args) == 1 and not call.keywords:
+        return RenameEvent(module="", lineno=call.lineno, col=call.col,
+                           detail=call.args[0].text or "...")
+    return None
+
+
+@dataclass(frozen=True)
+class _CallEdge:
+    caller: str                      # summary key
+    callee: str                      # summary key
+    module: str                      # caller's module
+    call: Optional[CallSite]         # None for containment edges
+
+
+def _interesting_names(info: ModuleInfo,
+                       resources: Mapping[str, Tuple[str, int]]
+                       ) -> Set[str]:
+    return set(info.mutable_globals) | set(resources)
+
+
+def _build_table(index: ProjectIndex) -> EffectTable:
+    table = EffectTable()
+    edges: List[_CallEdge] = []
+    published: Dict[Tuple[str, int, int, str], WriteEvent] = {}
+    journalish: List[WriteEvent] = []
+
+    # Pass 1: module-level resources, then per-function direct facts.
+    for module in sorted(index.modules):
+        info = index.modules[module]
+        bindings: Dict[str, Tuple[str, int]] = {}
+        for call in info.calls:
+            if call.in_function == "" and call.bound_to and call.func \
+                    and _leaf(call.func) in RESOURCE_PRODUCERS:
+                bindings[call.bound_to] = (
+                    RESOURCE_PRODUCERS[_leaf(call.func)], call.lineno)
+        table.module_resources[module] = bindings
+
+    for module in sorted(index.modules):
+        info = index.modules[module]
+        interesting = _interesting_names(
+            info, table.module_resources[module])
+        for qualname, function in info.functions.items():
+            key = f"{module}.{qualname}"
+            summary = EffectSummary(key=key)
+            summary.mutates_globals = {
+                f"{module}.{name}" for name in function.global_writes}
+            summary.reads_globals = {
+                f"{module}.{name}" for name in function.reads
+                if name in interesting}
+            table.summaries[key] = summary
+        # Containment: defining a nested function is conservatively
+        # treated as executing it (matches extract._function_facts).
+        for qualname in info.functions:
+            if "." not in qualname:
+                continue
+            outer = owner_of(info, qualname.rsplit(".", 1)[0])
+            if outer:
+                edges.append(_CallEdge(
+                    caller=f"{module}.{outer}",
+                    callee=f"{module}.{qualname}",
+                    module=module, call=None))
+
+        params_of: Dict[str, Tuple[str, ...]] = {
+            qualname: tuple(p.name for p in function.params)
+            for qualname, function in info.functions.items()}
+        for call in info.calls:
+            owner = owner_of(info, call.in_function)
+            params = params_of.get(owner, ())
+            key = f"{module}.{owner}" if owner else ""
+            summary = table.summaries.get(key)
+            leaf = _leaf(call.func) if call.func else ""
+
+            write = _direct_write(call, params)
+            if write is not None:
+                write = WriteEvent(
+                    module=module, lineno=write.lineno, col=write.col,
+                    via=write.via, scope=write.scope,
+                    detail=write.detail, mode=write.mode)
+                if _mentions_journal(call, write):
+                    journalish.append(write)
+                if write.scope == "published":
+                    published.setdefault(
+                        (module, write.lineno, write.col, write.via),
+                        write)
+                if summary is not None:
+                    summary.writes_any = True
+                    if write.scope.startswith("param:"):
+                        summary.param_writes.add(
+                            (write.scope[len("param:"):], write.via))
+
+            rename = _direct_rename(call)
+            if rename is not None and summary is not None:
+                summary.renames += (RenameEvent(
+                    module=module, lineno=rename.lineno,
+                    col=rename.col, detail=rename.detail),)
+            if rename is not None and _mentions_journal(call, None):
+                journalish.append(WriteEvent(
+                    module=module, lineno=call.lineno, col=call.col,
+                    via=call.func, scope="published",
+                    detail=rename.detail, mode="w"))
+
+            if summary is not None:
+                if leaf == "fsync":
+                    summary.fsyncs = True
+                if leaf in SPAWN_LEAVES:
+                    summary.spawns_worker = True
+                if call.bound_to and leaf in RESOURCE_PRODUCERS:
+                    summary.resources.setdefault(
+                        call.bound_to,
+                        (RESOURCE_PRODUCERS[leaf], call.lineno))
+
+            # Call edge to a resolvable project function: imported /
+            # module-level names via the index, local nested defs via
+            # the enclosing scope chain.
+            if not owner or not call.func:
+                continue
+            callee_key = _callee_key(index, module, info, call)
+            if callee_key is not None:
+                edges.append(_CallEdge(
+                    caller=f"{module}.{owner}", callee=callee_key,
+                    module=module, call=call))
+
+    # Pass 2: fixpoint propagation.
+    changed = True
+    while changed:
+        changed = False
+        for edge in edges:
+            caller = table.summaries.get(edge.caller)
+            callee = table.summaries.get(edge.callee)
+            if caller is None or callee is None or caller is callee:
+                continue
+            changed |= _merge_booleans(caller, callee)
+            if not callee.mutates_globals <= caller.mutates_globals:
+                caller.mutates_globals |= callee.mutates_globals
+                changed = True
+            if not callee.reads_globals <= caller.reads_globals:
+                caller.reads_globals |= callee.reads_globals
+                changed = True
+            if edge.call is None:
+                # Containment: a nested def's param-scoped writes are
+                # its own; they do not re-parameterize the outer fn.
+                continue
+            changed |= _substitute_param_writes(
+                index, table, edge, caller, callee, published)
+
+    table.published_writes = tuple(sorted(
+        published.values(),
+        key=lambda w: (w.module, w.lineno, w.col, w.via)))
+    table.journal_events = tuple(sorted(
+        journalish,
+        key=lambda w: (w.module, w.lineno, w.col, w.via)))
+    return table
+
+
+def _merge_booleans(caller: EffectSummary,
+                    callee: EffectSummary) -> bool:
+    changed = False
+    for attr in ("writes_any", "fsyncs", "spawns_worker"):
+        if getattr(callee, attr) and not getattr(caller, attr):
+            setattr(caller, attr, True)
+            changed = True
+    return changed
+
+
+def _callee_key(index: ProjectIndex, module: str, info: ModuleInfo,
+                call: CallSite) -> Optional[str]:
+    if "." not in call.func:
+        parts = call.in_function.split(".") if call.in_function else []
+        while parts:
+            qualname = ".".join(parts + [call.func])
+            if qualname in info.functions:
+                return f"{module}.{qualname}"
+            parts.pop()
+    callee = index.resolve_call(module, call)
+    if callee is not None and callee.kind == "function":
+        return f"{callee.module}.{callee.name}"
+    return None
+
+
+def _substitute_param_writes(
+        index: ProjectIndex, table: EffectTable, edge: _CallEdge,
+        caller: EffectSummary, callee: EffectSummary,
+        published: Dict[Tuple[str, int, int, str], WriteEvent]) -> bool:
+    """Resolve a callee's param-scoped writes at one call site."""
+    if not callee.param_writes or edge.call is None:
+        return False
+    function = _lookup_function(index, edge.callee)
+    if function is None:
+        return False
+    param_names = [p.name for p in function.params]
+    caller_info = index.modules[edge.module]
+    owner = owner_of(caller_info, edge.call.in_function)
+    caller_params: Tuple[str, ...] = ()
+    if owner and owner in caller_info.functions:
+        caller_params = tuple(
+            p.name for p in caller_info.functions[owner].params)
+    changed = False
+    for param, via in sorted(callee.param_writes):
+        desc = None
+        if param in param_names:
+            desc = _argument(edge.call, param_names.index(param), param)
+        if desc is None:
+            continue  # defaulted or unmatchable: stays callee-scoped
+        scope, detail = classify_path(desc, caller_params)
+        derived_via = f"{_leaf(edge.call.func)} → {via}"
+        if scope == "tmp":
+            continue
+        if scope.startswith("param:"):
+            pair = (scope[len("param:"):], derived_via)
+            if pair not in caller.param_writes:
+                caller.param_writes.add(pair)
+                changed = True
+        else:
+            event_key = (edge.module, edge.call.lineno, edge.call.col,
+                         derived_via)
+            if event_key not in published:
+                published[event_key] = WriteEvent(
+                    module=edge.module, lineno=edge.call.lineno,
+                    col=edge.call.col, via=derived_via,
+                    scope="published", detail=detail)
+                changed = True
+    return changed
+
+
+def _lookup_function(index: ProjectIndex,
+                     key: str) -> Optional[FunctionInfo]:
+    for module, info in index.modules.items():
+        if key.startswith(module + "."):
+            qualname = key[len(module) + 1:]
+            if qualname in info.functions:
+                return info.functions[qualname]
+    return None
+
+
+def _mentions_journal(call: CallSite,
+                      write: Optional[WriteEvent]) -> bool:
+    """Does this call's path expression name a journal or manifest?"""
+    blobs: List[str] = [call.func or ""]
+    for desc in call.args[:2]:
+        blobs.append(desc.text)
+        blobs.extend(desc.names)
+        blobs.extend(desc.consts)
+    for _, desc in call.keywords:
+        blobs.append(desc.text)
+        blobs.extend(desc.consts)
+    if write is not None:
+        blobs.append(write.detail)
+    blob = " ".join(blobs).lower()
+    return "journal" in blob or "manifest" in blob
+
+
+def effect_table(index: ProjectIndex) -> EffectTable:
+    """The (memoized) effect table for an index."""
+    cached = getattr(index, "_effect_table", None)
+    if isinstance(cached, EffectTable):
+        return cached
+    table = _build_table(index)
+    setattr(index, "_effect_table", table)
+    return table
+
+
+def attach_cached_table(index: ProjectIndex,
+                        payload: Mapping[str, Any]) -> bool:
+    """Adopt a cached effect table if its key matches this index."""
+    if not isinstance(payload, Mapping):
+        return False
+    if payload.get("key") != effects_key(index):
+        return False
+    try:
+        table = EffectTable.from_dict(payload["table"])
+    except (KeyError, TypeError, ValueError):
+        return False
+    setattr(index, "_effect_table", table)
+    return True
+
+
+def serialized_table(index: ProjectIndex
+                     ) -> Optional[Dict[str, Any]]:
+    """The cache payload for this index's table (None if not built)."""
+    table = getattr(index, "_effect_table", None)
+    if not isinstance(table, EffectTable):
+        return None
+    return {"key": effects_key(index), "table": table.to_dict()}

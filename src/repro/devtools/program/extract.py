@@ -20,6 +20,7 @@ from .model import (
     ClassInfo,
     FunctionInfo,
     ImportedName,
+    IndexWrite,
     ModuleInfo,
     ParamInfo,
     ValueDesc,
@@ -28,6 +29,17 @@ from .model import (
 #: Callee leaves that produce an RNG object (sanctioned or not).
 RNG_PRODUCERS = frozenset({
     "resolve_rng", "spawn", "derive", "default_rng", "RandomState"})
+
+#: Constructor leaves yielding a mutable container at module scope.
+MUTABLE_CONSTRUCTORS = frozenset({
+    "dict", "list", "set", "defaultdict", "OrderedDict", "deque",
+    "bytearray", "Counter"})
+
+#: Method leaves that mutate their receiver in place.
+MUTATOR_METHODS = frozenset({
+    "append", "extend", "add", "update", "setdefault", "pop",
+    "popitem", "clear", "insert", "remove", "discard", "appendleft",
+    "sort", "reverse"})
 
 
 def module_name_for(path: str) -> str:
@@ -83,11 +95,19 @@ def _free_names(node: ast.expr) -> Tuple[Set[str], Set[str]]:
     return loaded - bound, callees
 
 
+def _str_consts(node: ast.expr) -> Tuple[str, ...]:
+    found = sorted({child.value for child in ast.walk(node)
+                    if isinstance(child, ast.Constant)
+                    and isinstance(child.value, str)})
+    return tuple(found)
+
+
 def describe_value(node: ast.expr) -> ValueDesc:
     """Build the :class:`ValueDesc` approximation of one expression."""
     names, callees = _free_names(node)
     names_t = tuple(sorted(names))
     calls_t = tuple(sorted(callees))
+    consts_t = _str_consts(node)
     if isinstance(node, ast.Name):
         return ValueDesc(kind="name", text=node.id,
                          suffix=unit_suffix(node.id),
@@ -98,16 +118,164 @@ def describe_value(node: ast.expr) -> ValueDesc:
             return ValueDesc(kind="attr", text=dotted,
                              suffix=unit_suffix(_leaf(dotted)),
                              names=names_t, calls=calls_t)
-        return ValueDesc(kind="other", names=names_t, calls=calls_t)
+        return ValueDesc(kind="other", names=names_t, calls=calls_t,
+                         consts=consts_t)
     if isinstance(node, ast.Call):
         dotted = dotted_name(node.func) or ""
         return ValueDesc(kind="call", text=dotted,
-                         names=names_t, calls=calls_t)
+                         names=names_t, calls=calls_t, consts=consts_t)
     if isinstance(node, ast.Lambda):
-        return ValueDesc(kind="lambda", names=names_t, calls=calls_t)
+        return ValueDesc(kind="lambda", names=names_t, calls=calls_t,
+                         consts=consts_t)
     if isinstance(node, ast.Constant):
-        return ValueDesc(kind="const", text=repr(node.value))
-    return ValueDesc(kind="other", names=names_t, calls=calls_t)
+        return ValueDesc(kind="const", text=repr(node.value),
+                         consts=consts_t)
+    return ValueDesc(kind="other", names=names_t, calls=calls_t,
+                     consts=consts_t)
+
+
+def _is_mutable_initializer(value: Optional[ast.expr]) -> bool:
+    if value is None:
+        return False
+    if isinstance(value, (ast.List, ast.Dict, ast.Set, ast.ListComp,
+                          ast.DictComp, ast.SetComp)):
+        return True
+    if isinstance(value, ast.Call):
+        callee = dotted_name(value.func)
+        return callee is not None and \
+            _leaf(callee) in MUTABLE_CONSTRUCTORS
+    return False
+
+
+def _module_prepass(
+        stmts: Sequence[ast.stmt]) -> Tuple[Set[str], Set[str]]:
+    """(top-level bound names, mutable-container names) of a module."""
+    names: Set[str] = set()
+    mutable: Set[str] = set()
+    for stmt in stmts:
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef,
+                             ast.ClassDef)):
+            names.add(stmt.name)
+        elif isinstance(stmt, ast.Assign):
+            for target in stmt.targets:
+                if isinstance(target, ast.Name):
+                    names.add(target.id)
+                    if _is_mutable_initializer(stmt.value):
+                        mutable.add(target.id)
+        elif isinstance(stmt, ast.AnnAssign) and \
+                isinstance(stmt.target, ast.Name):
+            names.add(stmt.target.id)
+            if _is_mutable_initializer(stmt.value):
+                mutable.add(stmt.target.id)
+        elif isinstance(stmt, (ast.If, ast.Try)):
+            for block in _nested_bodies(stmt):
+                sub_names, sub_mutable = _module_prepass(block)
+                names |= sub_names
+                mutable |= sub_mutable
+    return names, mutable
+
+
+def _subscript_base(node: ast.Subscript) -> Optional[str]:
+    return dotted_name(node.value)
+
+
+def _index_write(node: ast.Subscript) -> Optional[IndexWrite]:
+    base = _subscript_base(node)
+    if base is None:
+        return None
+    index = node.slice
+    kind = "slice" if isinstance(index, ast.Slice) else "expr"
+    names, _ = _free_names(index) if isinstance(index, ast.expr) \
+        else (set(), set())
+    return IndexWrite(
+        target=base, index_kind=kind, index_text=ast.unparse(index),
+        names=tuple(sorted(names)), lineno=node.lineno,
+        col=node.col_offset)
+
+
+def _function_facts(
+        node: ast.AST, module_names: Set[str],
+) -> Tuple[Tuple[str, ...], Tuple[str, ...], Tuple[IndexWrite, ...]]:
+    """(global_writes, free reads, index writes) for one def body.
+
+    Walks the whole def including nested functions — a nested worker
+    closure mutating a module global makes the enclosing function an
+    effectful one, which is exactly the conservative view the race
+    rules need.  A name is treated as a module global when it is bound
+    at module scope and not rebound anywhere inside the def (params
+    and local assignments shadow), or when declared ``global``.
+    """
+    assert isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+    bound: Set[str] = set()
+    declared_global: Set[str] = set()
+    loaded: Set[str] = set()
+    store_targets: List[ast.expr] = []
+    mutator_calls: List[ast.Call] = []
+    for child in ast.walk(node):
+        if isinstance(child, ast.Name):
+            if isinstance(child.ctx, ast.Load):
+                loaded.add(child.id)
+            else:
+                bound.add(child.id)
+        elif isinstance(child, ast.arg):
+            bound.add(child.arg)
+        elif isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                ast.ClassDef)) and child is not node:
+            bound.add(child.name)
+        elif isinstance(child, ast.Global):
+            declared_global.update(child.names)
+        elif isinstance(child, (ast.Import, ast.ImportFrom)):
+            for alias in child.names:
+                bound.add(alias.asname
+                          or alias.name.split(".")[0])
+        elif isinstance(child, ast.Assign):
+            store_targets.extend(child.targets)
+        elif isinstance(child, (ast.AugAssign, ast.AnnAssign)):
+            store_targets.append(child.target)
+        elif isinstance(child, ast.Call) and \
+                isinstance(child.func, ast.Attribute) and \
+                child.func.attr in MUTATOR_METHODS:
+            mutator_calls.append(child)
+
+    def _refers_to_global(name: str) -> bool:
+        if name in declared_global:
+            return True
+        return name in module_names and name not in bound
+
+    global_writes: Set[str] = set()
+    index_writes: List[IndexWrite] = []
+    for target in store_targets:
+        if isinstance(target, ast.Tuple):
+            elements: List[ast.expr] = list(target.elts)
+        else:
+            elements = [target]
+        for element in elements:
+            if isinstance(element, ast.Name):
+                if element.id in declared_global:
+                    global_writes.add(element.id)
+            elif isinstance(element, ast.Subscript):
+                write = _index_write(element)
+                if write is not None:
+                    index_writes.append(write)
+                    root = write.target.split(".")[0]
+                    if _refers_to_global(root):
+                        global_writes.add(root)
+            elif isinstance(element, ast.Attribute):
+                dotted = dotted_name(element)
+                if dotted is not None:
+                    root = dotted.split(".")[0]
+                    if _refers_to_global(root):
+                        global_writes.add(root)
+    for call in mutator_calls:
+        assert isinstance(call.func, ast.Attribute)
+        receiver = dotted_name(call.func.value)
+        if receiver is not None and \
+                _refers_to_global(receiver.split(".")[0]):
+            global_writes.add(receiver.split(".")[0])
+    reads = loaded - bound
+    index_writes.sort(key=lambda w: (w.lineno, w.col))
+    return (tuple(sorted(global_writes)), tuple(sorted(reads)),
+            tuple(index_writes))
 
 
 def _is_type_checking_test(test: ast.expr) -> bool:
@@ -158,6 +326,8 @@ class _ModuleExtractor:
         self.classes: Dict[str, ClassInfo] = {}
         self.calls: List[CallSite] = []
         self.bindings: Dict[str, str] = {}
+        self.module_names: Set[str] = set()
+        self.mutable_globals: Set[str] = set()
         self._scope: List[str] = []        # enclosing def/class names
         self._function_depth = 0
 
@@ -183,6 +353,8 @@ class _ModuleExtractor:
             self.walk(stmt.orelse, type_checking=type_checking)
         elif isinstance(stmt, (ast.Assign, ast.AnnAssign)):
             self._assignment(stmt)
+        elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+            self._with(stmt, type_checking)
         else:
             # Compound statements (if/for/while/with/try) may nest any
             # of the above; expressions inside carry the call sites.
@@ -256,10 +428,14 @@ class _ModuleExtractor:
         rng_sources = {p.name for p in params
                        if p.name == "rng" or p.name.endswith("_rng")
                        or (p.annotation and "Generator" in p.annotation)}
+        global_writes, reads, index_writes = _function_facts(
+            node, self.module_names)
         self.functions[qualname] = FunctionInfo(
             qualname=qualname, lineno=node.lineno,
             params=tuple(params), is_method=in_class,
-            rng_sources=tuple(sorted(rng_sources)))
+            rng_sources=tuple(sorted(rng_sources)),
+            global_writes=global_writes, reads=reads,
+            index_writes=index_writes)
         if not self._scope:
             self.bindings.setdefault(
                 node.name, f"{self.module}.{node.name}")
@@ -291,7 +467,9 @@ class _ModuleExtractor:
             qualname=info.qualname, lineno=info.lineno,
             params=info.params, is_method=info.is_method,
             calls_resolve_rng=calls_resolve,
-            rng_sources=tuple(sorted(sources)))
+            rng_sources=tuple(sorted(sources)),
+            global_writes=info.global_writes, reads=info.reads,
+            index_writes=info.index_writes)
 
     def _class(self, node: ast.ClassDef) -> None:
         qualname = ".".join(self._scope + [node.name])
@@ -351,6 +529,26 @@ class _ModuleExtractor:
                 self._expression(arg_expr)
         else:
             self._expression(value)
+
+    def _with(self, stmt: ast.stmt, type_checking: bool) -> None:
+        """``with open(p) as fh:`` binds ``fh`` like an assignment.
+
+        The generic compound-statement walk would record the call but
+        lose the binding; the resource-tracking rules need it to see
+        which local holds the open handle.
+        """
+        assert isinstance(stmt, (ast.With, ast.AsyncWith))
+        for item in stmt.items:
+            expr = item.context_expr
+            if isinstance(expr, ast.Call) and \
+                    isinstance(item.optional_vars, ast.Name):
+                self._record_call(expr,
+                                  bound_to=item.optional_vars.id)
+                for operand in _call_operands(expr):
+                    self._expression(operand)
+            else:
+                self._expression(expr)
+        self.walk(stmt.body, type_checking)
 
     def _expression(self, expr: ast.expr) -> None:
         """Record every call expression nested anywhere in ``expr``."""
@@ -417,6 +615,8 @@ def extract_module(path: str, source: str, sha: str) -> ModuleInfo:
     if not path.replace("\\", "/").endswith("__init__.py"):
         extractor.package = module.rsplit(".", 1)[0] \
             if "." in module else module
+    extractor.module_names, extractor.mutable_globals = \
+        _module_prepass(tree.body)
     extractor.walk(tree.body)
     return ModuleInfo(
         module=module, path=path, sha=sha,
@@ -425,4 +625,5 @@ def extract_module(path: str, source: str, sha: str) -> ModuleInfo:
         classes=extractor.classes,
         calls=tuple(extractor.calls),
         bindings=extractor.bindings,
-        suppressions=parse_noqa(source))
+        suppressions=parse_noqa(source),
+        mutable_globals=tuple(sorted(extractor.mutable_globals)))

@@ -212,6 +212,8 @@ def save_cache(cache_dir: str, payload: Dict[str, object]) -> None:
         payload = dict(payload, version=INDEX_SCHEMA_VERSION)
         with open(tmp, "w", encoding="utf-8") as fh:
             json.dump(payload, fh, sort_keys=True)
+            fh.flush()
+            os.fsync(fh.fileno())
         os.replace(tmp, path)
     except OSError:
         pass  # a read-only checkout must not break analysis

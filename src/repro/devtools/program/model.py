@@ -14,7 +14,7 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, FrozenSet, Mapping, Optional, Tuple
 
 #: Bump when the extracted shape changes; stale caches are discarded.
-INDEX_SCHEMA_VERSION = 1
+INDEX_SCHEMA_VERSION = 2
 
 
 @dataclass(frozen=True)
@@ -58,8 +58,9 @@ class ValueDesc:
     attributes) or the dotted callee (for calls).  ``suffix`` is the
     unit suffix of the leaf name, if any.  ``names`` collects every
     plain name loaded anywhere inside the expression (minus
-    comprehension and lambda-bound targets) and ``calls`` every dotted
-    callee — the approximation the RNG-taint rules match against.
+    comprehension and lambda-bound targets), ``calls`` every dotted
+    callee, and ``consts`` every string literal (how the crash-safety
+    rules recognize tmp siblings and journal paths) — the approximation the RNG-taint rules match against.
     """
 
     kind: str
@@ -67,11 +68,13 @@ class ValueDesc:
     suffix: Optional[str] = None
     names: Tuple[str, ...] = ()
     calls: Tuple[str, ...] = ()
+    consts: Tuple[str, ...] = ()
 
     def to_dict(self) -> Dict[str, Any]:
         return {
             "kind": self.kind, "text": self.text, "suffix": self.suffix,
             "names": list(self.names), "calls": list(self.calls),
+            "consts": list(self.consts),
         }
 
     @classmethod
@@ -79,7 +82,8 @@ class ValueDesc:
         return cls(kind=payload["kind"], text=payload["text"],
                    suffix=payload["suffix"],
                    names=tuple(payload["names"]),
-                   calls=tuple(payload["calls"]))
+                   calls=tuple(payload["calls"]),
+                   consts=tuple(payload["consts"]))
 
 
 @dataclass(frozen=True)
@@ -122,6 +126,39 @@ class CallSite:
 
 
 @dataclass(frozen=True)
+class IndexWrite:
+    """One subscript store (``target[index] = ...``) inside a function.
+
+    ``target`` is the dotted base being written, ``index_kind`` is
+    ``"slice"`` or ``"expr"``, ``index_text`` the unparsed index, and
+    ``names`` every plain name loaded inside the index expression —
+    what the chunk-overlap rule reasons about symbolically.
+    """
+
+    target: str
+    index_kind: str
+    index_text: str
+    names: Tuple[str, ...] = ()
+    lineno: int = 0
+    col: int = 0
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "target": self.target, "index_kind": self.index_kind,
+            "index_text": self.index_text, "names": list(self.names),
+            "lineno": self.lineno, "col": self.col,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "IndexWrite":
+        return cls(target=payload["target"],
+                   index_kind=payload["index_kind"],
+                   index_text=payload["index_text"],
+                   names=tuple(payload["names"]),
+                   lineno=payload["lineno"], col=payload["col"])
+
+
+@dataclass(frozen=True)
 class ParamInfo:
     """One declared parameter (or dataclass field)."""
 
@@ -157,6 +194,10 @@ class FunctionInfo:
     lists local names known to hold an RNG (parameters named ``rng`` /
     ``*_rng`` or annotated ``Generator``, and names assigned from
     ``resolve_rng`` / ``spawn`` / ``derive`` / ``default_rng`` calls).
+    ``global_writes`` names module-level bindings the body rebinds or
+    mutates in place, ``reads`` the free names loaded from enclosing
+    scopes, and ``index_writes`` every subscript store — the raw facts
+    the effect-inference pass summarizes.
     """
 
     qualname: str
@@ -165,6 +206,9 @@ class FunctionInfo:
     is_method: bool = False
     calls_resolve_rng: bool = False
     rng_sources: Tuple[str, ...] = ()
+    global_writes: Tuple[str, ...] = ()
+    reads: Tuple[str, ...] = ()
+    index_writes: Tuple[IndexWrite, ...] = ()
 
     def param(self, name: str) -> Optional[ParamInfo]:
         for info in self.params:
@@ -179,6 +223,9 @@ class FunctionInfo:
             "is_method": self.is_method,
             "calls_resolve_rng": self.calls_resolve_rng,
             "rng_sources": list(self.rng_sources),
+            "global_writes": list(self.global_writes),
+            "reads": list(self.reads),
+            "index_writes": [w.to_dict() for w in self.index_writes],
         }
 
     @classmethod
@@ -189,7 +236,11 @@ class FunctionInfo:
                          for p in payload["params"]),
             is_method=payload["is_method"],
             calls_resolve_rng=payload["calls_resolve_rng"],
-            rng_sources=tuple(payload["rng_sources"]))
+            rng_sources=tuple(payload["rng_sources"]),
+            global_writes=tuple(payload["global_writes"]),
+            reads=tuple(payload["reads"]),
+            index_writes=tuple(IndexWrite.from_dict(w)
+                               for w in payload["index_writes"]))
 
 
 @dataclass(frozen=True)
@@ -227,7 +278,13 @@ class ClassInfo:
 
 @dataclass(frozen=True)
 class ModuleInfo:
-    """Everything the analyzer knows about one source file."""
+    """Everything the analyzer knows about one source file.
+
+    ``mutable_globals`` names module-level bindings initialized to a
+    mutable container (list/dict/set literal or constructor) — the
+    shared state the race rules treat as hazardous to capture across a
+    worker boundary.
+    """
 
     module: str
     path: str
@@ -238,6 +295,7 @@ class ModuleInfo:
     calls: Tuple[CallSite, ...] = ()
     bindings: Dict[str, str] = field(default_factory=dict)
     suppressions: Dict[int, FrozenSet[str]] = field(default_factory=dict)
+    mutable_globals: Tuple[str, ...] = ()
 
     def is_suppressed(self, line: int, rule_id: str) -> bool:
         rules = self.suppressions.get(line)
@@ -258,6 +316,7 @@ class ModuleInfo:
             "suppressions": {str(line): sorted(rules)
                              for line, rules
                              in sorted(self.suppressions.items())},
+            "mutable_globals": list(self.mutable_globals),
         }
 
     @classmethod
@@ -275,4 +334,5 @@ class ModuleInfo:
             bindings=dict(payload["bindings"]),
             suppressions={int(line): frozenset(rules)
                           for line, rules
-                          in payload["suppressions"].items()})
+                          in payload["suppressions"].items()},
+            mutable_globals=tuple(payload["mutable_globals"]))

@@ -54,7 +54,13 @@ def register_program_rule(rule_class: Type[ProgramRule]
 
 def _load_program_rules() -> None:
     # Importing the rule modules populates the registry.
-    from . import rules_layering, rules_rngflow, rules_unitflow  # noqa: F401
+    from . import (  # noqa: F401
+        rules_concurrency,
+        rules_crashsafety,
+        rules_layering,
+        rules_rngflow,
+        rules_unitflow,
+    )
 
 
 def all_program_rules() -> List[ProgramRule]:

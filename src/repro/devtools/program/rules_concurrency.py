@@ -1,0 +1,334 @@
+"""C-series: static race detection at the worker-pool boundary.
+
+``parallel_map`` / ``parallel_map_arrays`` fork worker processes; a
+worker function that mutates module globals mutates a *copy* that the
+parent never sees (or, under threads-in-future engines, a shared one
+racily), and a resource handle created in the parent is dead weight or
+a deadlock in the child.  These rules consume the effect summaries of
+:mod:`.effects`:
+
+* **C001** — the worker callable (or its transitive callees) mutates a
+  module global, or a lambda/partial captures a mutable module-level
+  container across the pool boundary.
+* **C002** — a ``parallel_map_arrays`` worker writes rows at absolute
+  indices that cannot be proven chunk-disjoint: an index expression is
+  accepted only when it involves a start-offset parameter
+  (``start + i`` style); constants and item-derived indices are
+  flagged.
+* **C003** — a fork-unsafe resource (open handle, memmap,
+  ``SharedMemory``, pipe) created in the parent scope or at module
+  level is reachable from the worker callable or the items.
+* **C004** — the items fed to the pool come from an unordered
+  enumeration (``set``, ``glob``, ``os.listdir``, ...) without a
+  ``sorted`` wrapper, so reduction over the results is
+  order-unstable run to run.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional, Set, Tuple
+
+from ..findings import Finding
+from .effects import (
+    EffectTable,
+    effect_table,
+    owner_of,
+    resolve_worker,
+)
+from .index import ProjectIndex
+from .model import CallSite, FunctionInfo, ModuleInfo, ValueDesc
+from .registry import ProgramRule, register_program_rule
+
+#: Pool entry points guarded by the C-series.
+POOL_LEAVES = frozenset({"parallel_map", "parallel_map_arrays"})
+
+#: Qualified pool functions (fixture stand-ins index identically).
+_POOL_QUALIFIED = frozenset({
+    "repro.parallel.parallel_map",
+    "repro.parallel.parallel_map_arrays"})
+
+#: Parameter names accepted as a chunk's absolute start offset.
+START_PARAMS = frozenset({
+    "start", "starts", "base", "offset", "row0", "row_start", "begin"})
+
+#: Callee leaves producing an enumeration with unstable order.
+UNORDERED_SOURCES = frozenset({
+    "set", "frozenset", "glob", "iglob", "listdir", "scandir",
+    "iterdir"})
+
+
+def _leaf(dotted: str) -> str:
+    return dotted.rsplit(".", 1)[-1]
+
+
+def _is_pool_call(index: ProjectIndex, module: str,
+                  call: CallSite) -> bool:
+    if not call.func or _leaf(call.func) not in POOL_LEAVES:
+        return False
+    callee = index.resolve_call(module, call)
+    if callee is None:
+        return True  # unresolved but unambiguous by name
+    return callee.qualified in _POOL_QUALIFIED
+
+
+def _argument(call: CallSite, position: int,
+              keyword: str) -> Optional[ValueDesc]:
+    if len(call.args) > position:
+        return call.args[position]
+    for name, value in call.keywords:
+        if name == keyword:
+            return value
+    return None
+
+
+def _pool_sites(index: ProjectIndex
+                ) -> Iterator[Tuple[str, ModuleInfo, CallSite]]:
+    for module in sorted(index.modules):
+        info = index.modules[module]
+        for call in info.calls:
+            if _is_pool_call(index, module, call):
+                yield module, info, call
+
+
+class _PoolRule(ProgramRule):
+    """Shared iteration scaffold for the C-series."""
+
+    def check(self, index: ProjectIndex) -> Iterator[Finding]:
+        table = effect_table(index)
+        for module, info, call in _pool_sites(index):
+            yield from self.check_site(index, table, module, info,
+                                       call)
+
+    def check_site(self, index: ProjectIndex, table: EffectTable,
+                   module: str, info: ModuleInfo,
+                   call: CallSite) -> Iterator[Finding]:
+        raise NotImplementedError
+
+
+@register_program_rule
+class WorkerMutationRule(_PoolRule):
+    """C001: the worker mutates shared module state."""
+
+    rule_id = "C001"
+    summary = ("a parallel_map / parallel_map_arrays worker callable "
+               "must not mutate module globals or capture a mutable "
+               "module-level container; each forked worker sees its "
+               "own copy and the parent's state silently diverges")
+
+    def check_site(self, index: ProjectIndex, table: EffectTable,
+                   module: str, info: ModuleInfo,
+                   call: CallSite) -> Iterator[Finding]:
+        fn = _argument(call, 0, "fn")
+        if fn is None:
+            return
+        worker = resolve_worker(index, module, call, fn)
+        if worker is not None:
+            wmodule, wqual, _ = worker
+            summary = table.summary(wmodule, wqual)
+            if summary is not None and summary.mutates_globals:
+                culprit = sorted(summary.mutates_globals)[0]
+                yield self.finding(
+                    info, call.lineno, call.col,
+                    f"worker {fn.text!r} mutates module global "
+                    f"{culprit!r} across the {_leaf(call.func)} "
+                    "boundary; forked workers mutate private copies "
+                    "— return the value and merge in the parent")
+            return
+        if fn.kind in ("lambda", "call"):
+            captured = sorted(set(fn.names) & set(info.mutable_globals))
+            if captured:
+                yield self.finding(
+                    info, call.lineno, call.col,
+                    f"{_leaf(call.func)} callable captures mutable "
+                    f"module global {captured[0]!r}; shared mutable "
+                    "state must not cross the pool boundary — pass "
+                    "it through the items instead")
+                return
+            for name in sorted(set(fn.names)):
+                probe = ValueDesc(kind="name", text=name)
+                target = resolve_worker(index, module, call, probe)
+                if target is None:
+                    continue
+                tmodule, tqual, _ = target
+                summary = table.summary(tmodule, tqual)
+                if summary is not None and summary.mutates_globals:
+                    culprit = sorted(summary.mutates_globals)[0]
+                    yield self.finding(
+                        info, call.lineno, call.col,
+                        f"worker {name!r} (wrapped in the "
+                        f"{_leaf(call.func)} callable) mutates "
+                        f"module global {culprit!r}; return the "
+                        "value and merge in the parent")
+                    return
+
+
+@register_program_rule
+class ChunkOverlapRule(_PoolRule):
+    """C002: absolute-index writes must be provably chunk-disjoint."""
+
+    rule_id = "C002"
+    summary = ("a parallel_map_arrays worker writing output rows at "
+               "absolute indices must derive every index from its "
+               "chunk start offset (start + i); constant or "
+               "item-derived indices can collide across chunks")
+
+    def check_site(self, index: ProjectIndex, table: EffectTable,
+                   module: str, info: ModuleInfo,
+                   call: CallSite) -> Iterator[Finding]:
+        if _leaf(call.func) != "parallel_map_arrays":
+            return
+        fn = _argument(call, 0, "fn")
+        if fn is None:
+            return
+        worker = resolve_worker(index, module, call, fn)
+        if worker is None:
+            return
+        wmodule, _, function = worker
+        winfo = index.modules.get(wmodule)
+        if winfo is None:
+            return
+        params = {p.name for p in function.params}
+        start_params = params & START_PARAMS
+        for write in function.index_writes:
+            root = write.target.split(".")[0]
+            if root not in params:
+                continue  # local scratch arrays are the engine's job
+            if set(write.names) & start_params:
+                continue  # start-offset form: chunks are disjoint
+            yield self.finding(
+                winfo, write.lineno, write.col,
+                f"worker {function.qualname!r} writes "
+                f"{write.target}[{write.index_text}] but the index "
+                "cannot be proven chunk-disjoint; derive it from the "
+                "chunk start offset (start + i) so parallel chunks "
+                "never overlap")
+
+
+@register_program_rule
+class ForkUnsafeResourceRule(_PoolRule):
+    """C003: parent-held resources must not reach the workers."""
+
+    rule_id = "C003"
+    summary = ("an open file handle, memmap, SharedMemory segment or "
+               "pipe created in the parent must not be reachable from "
+               "a pool worker; forked copies of a live handle share "
+               "file offsets and buffers and corrupt each other")
+
+    def check_site(self, index: ProjectIndex, table: EffectTable,
+                   module: str, info: ModuleInfo,
+                   call: CallSite) -> Iterator[Finding]:
+        module_resources = table.module_resources.get(module, {})
+        qualified_resources = {
+            f"{mod}.{name}"
+            for mod, bindings in table.module_resources.items()
+            for name in bindings}
+        owner = owner_of(info, call.in_function)
+        parent = table.summary(module, owner) if owner else None
+        parent_resources = dict(parent.resources) if parent else {}
+
+        fn = _argument(call, 0, "fn")
+        if fn is not None:
+            worker = resolve_worker(index, module, call, fn)
+            if worker is not None:
+                yield from self._check_worker(
+                    table, info, call, fn, worker,
+                    qualified_resources, parent_resources)
+            elif fn.kind in ("lambda", "call"):
+                captured = sorted(
+                    set(fn.names) & (set(module_resources)
+                                     | set(parent_resources)))
+                if captured:
+                    kind = self._kind_of(captured[0], module_resources,
+                                         parent_resources)
+                    yield self.finding(
+                        info, call.lineno, call.col,
+                        f"{_leaf(call.func)} callable captures "
+                        f"{captured[0]!r} (an {kind}) created in the "
+                        "parent; open the resource inside the worker "
+                        "instead")
+
+        items = _argument(call, 1, "items")
+        if items is not None:
+            carried = sorted(
+                set(items.names) & (set(module_resources)
+                                    | set(parent_resources)))
+            if carried:
+                kind = self._kind_of(carried[0], module_resources,
+                                     parent_resources)
+                yield self.finding(
+                    info, call.lineno, call.col,
+                    f"{_leaf(call.func)} items reference "
+                    f"{carried[0]!r} (an {kind}) created in the "
+                    "parent; ship paths or specs across the pool "
+                    "boundary, not live handles")
+
+    def _check_worker(self, table: EffectTable, info: ModuleInfo,
+                      call: CallSite, fn: ValueDesc,
+                      worker: Tuple[str, str, FunctionInfo],
+                      qualified_resources: Set[str],
+                      parent_resources: "dict[str, Tuple[str, int]]"
+                      ) -> Iterator[Finding]:
+        wmodule, wqual, function = worker
+        summary = table.summary(wmodule, wqual)
+        if summary is not None:
+            reached = sorted(summary.reads_globals
+                             & qualified_resources)
+            if reached:
+                yield self.finding(
+                    info, call.lineno, call.col,
+                    f"worker {fn.text!r} reaches module-level "
+                    f"resource {reached[0]!r} across the "
+                    f"{_leaf(call.func)} boundary; open the resource "
+                    "inside the worker instead")
+                return
+        # A nested-def worker closing over a parent-local handle.
+        if "." in wqual:
+            captured = sorted(set(function.reads)
+                              & set(parent_resources))
+            if captured:
+                kind = parent_resources[captured[0]][0]
+                yield self.finding(
+                    info, call.lineno, call.col,
+                    f"worker {fn.text!r} closes over {captured[0]!r} "
+                    f"(an {kind}) created in the parent; open the "
+                    "resource inside the worker instead")
+
+    @staticmethod
+    def _kind_of(name: str,
+                 module_resources: "dict[str, Tuple[str, int]]",
+                 parent_resources: "dict[str, Tuple[str, int]]"
+                 ) -> str:
+        if name in parent_resources:
+            return parent_resources[name][0]
+        return module_resources[name][0]
+
+
+@register_program_rule
+class OrderStabilityRule(_PoolRule):
+    """C004: pool items must come from a deterministic enumeration."""
+
+    rule_id = "C004"
+    summary = ("parallel_map merges results in items order, so the "
+               "items enumeration IS the result order; feeding an "
+               "unordered source (set, glob, os.listdir) makes any "
+               "reduction over the results — float accumulation "
+               "especially — differ run to run unless sorted first")
+
+    def check_site(self, index: ProjectIndex, table: EffectTable,
+                   module: str, info: ModuleInfo,
+                   call: CallSite) -> Iterator[Finding]:
+        items = _argument(call, 1, "items")
+        if items is None or items.kind != "call":
+            return
+        leaves = {_leaf(callee) for callee in items.calls}
+        if items.text:
+            leaves.add(_leaf(items.text))
+        unordered = sorted(leaves & UNORDERED_SOURCES)
+        if not unordered or "sorted" in leaves:
+            return
+        yield self.finding(
+            info, call.lineno, call.col,
+            f"{_leaf(call.func)} items come from unordered source "
+            f"{unordered[0]}(); the merge order — and any reduction "
+            "over the results — then varies run to run; wrap the "
+            "source in sorted(...) to pin it")

@@ -287,6 +287,9 @@ def parallel_map_arrays(fn: Callable,
     here) or ``out`` (caller-preallocated arrays, e.g. the columnar
     store's disk-backed memmaps) must be given.
 
+    ``workers=None`` (or ``1``) runs serially; size a real pool with
+    :func:`default_workers`, which resolves ``REPRO_WORKERS`` → the
+    scheduler affinity mask → ``os.cpu_count()``, in that order.
     ``workers>1`` ships only the item chunks to the pool; the output
     rows travel through ``multiprocessing.shared_memory`` (or straight
     into the caller's ``np.memmap`` files), never through pickle.  The

@@ -42,3 +42,32 @@ def read_json(path: Union[str, Path]) -> object:
     """Load a JSON sidecar; raises ``OSError``/``ValueError`` as-is."""
     with open(path, "r", encoding="utf-8") as handle:
         return json.load(handle)
+
+
+def fsync_path(path: Union[str, Path]) -> None:
+    """``fsync`` one existing file or directory by path."""
+    fd = os.open(str(path), os.O_RDONLY)
+    try:
+        os.fsync(fd)
+    finally:
+        os.close(fd)
+
+
+def fsync_tree(path: Union[str, Path]) -> None:
+    """``fsync`` every regular file under ``path``, then ``path``.
+
+    The durability half of the directory-level tmp→rename recipe: an
+    ``os.replace`` of a directory is only crash-safe once the file
+    *bytes* and the directory *entries* inside it are on disk —
+    otherwise the rename can survive a crash while the renamed
+    contents do not.  Call this on the tmp directory immediately
+    before publishing it.
+    """
+    root = Path(path)
+    for child in sorted(root.rglob("*")):
+        if child.is_file():
+            fsync_path(child)
+    try:
+        fsync_path(root)
+    except OSError:  # platforms without directory fsync
+        pass

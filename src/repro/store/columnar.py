@@ -55,6 +55,8 @@ from typing import Dict, Iterator, List, Mapping, Optional, Tuple, Union
 
 import numpy as np
 
+from .atomic import fsync_path, fsync_tree
+
 #: Group and column names: filesystem-safe, no separators, no dots.
 _NAME_RE = re.compile(r"^[A-Za-z0-9][A-Za-z0-9_\-]*$")
 
@@ -190,6 +192,7 @@ class GroupWriter:
         _write_meta(self._tmp, self.rows,
                     {name: array for name, array in self.columns.items()},
                     self.attrs)
+        fsync_tree(self._tmp)
         final = self._store.root / self.name
         if final.exists():
             shutil.rmtree(final)
@@ -252,6 +255,7 @@ class ColumnStore:
                 np.save(tmp / f"{column}.npy",
                         np.ascontiguousarray(array))
             _write_meta(tmp, rows, columns, attrs or {})
+            fsync_tree(tmp)
             final = self.root / name
             if final.exists():
                 shutil.rmtree(final)
@@ -371,7 +375,12 @@ class ColumnStore:
         payload["__meta__"] = np.frombuffer(
             json.dumps({"rows": group.rows, "attrs": group.attrs},
                        sort_keys=True).encode(), dtype=np.uint8)
-        np.savez(target, **payload)
+        # Tmp sibling already ending in .npz so np.savez appends
+        # nothing; fsync + rename keeps the archive all-or-nothing.
+        tmp = target.with_name(f".{target.name}.tmp.npz")
+        np.savez(tmp, **payload)
+        fsync_path(tmp)
+        os.replace(tmp, target)
         return target
 
     def import_npz(self, name: str, path: Union[str, Path]) -> ColumnGroup:

@@ -1,0 +1,1 @@
+"""Concurrency fixture: a tiny repro-shaped tree with C-series races."""

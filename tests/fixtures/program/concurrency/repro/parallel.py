@@ -1,0 +1,9 @@
+"""Fixture stand-ins for the process-pool entry points."""
+
+
+def parallel_map(fn, items, workers=None, chunk_size=None):
+    return [fn(item) for item in items]
+
+
+def parallel_map_arrays(fn, chunks, workers=None):
+    return [fn(*chunk) for chunk in chunks]

@@ -1,0 +1,85 @@
+"""One of each C-series violation, with a safe twin beside each."""
+
+from .parallel import parallel_map, parallel_map_arrays
+
+CACHE = {}
+LIMITS = {"max_rows": 4096}
+TRACE = open("trace.bin", "rb")
+
+
+# -- C001: worker mutates shared module state -------------------------------
+
+def tally(item):
+    CACHE[item] = True  # each forked worker mutates a private copy
+    return item
+
+
+def run_tally(jobs):
+    # C001: the worker writes CACHE across the pool boundary.
+    return parallel_map(tally, jobs)
+
+
+def clamp(value):
+    return min(value, LIMITS["max_rows"])  # read-only capture is fine
+
+
+def run_clamp(values):
+    return parallel_map(clamp, values)
+
+
+# -- C002: absolute-index writes must be chunk-disjoint ---------------------
+
+def fill_rows(out, items):
+    for i, item in enumerate(items):
+        out[i] = item * 2.0  # C002: index ignores the chunk start
+
+
+def fill_rows_safe(out, start, items):
+    for i, item in enumerate(items):
+        out[start + i] = item * 2.0  # start-offset form: disjoint
+
+
+def run_fill(chunks):
+    return parallel_map_arrays(fill_rows, chunks)
+
+
+def run_fill_safe(chunks):
+    return parallel_map_arrays(fill_rows_safe, chunks)
+
+
+# -- C003: parent-held resources must not reach the workers -----------------
+
+def replay(offset):
+    TRACE.seek(offset)  # forked copies share the file offset
+    return TRACE.read(16)
+
+
+def run_replay(offsets):
+    # C003: the worker reaches the module-level open handle.
+    return parallel_map(replay, offsets)
+
+
+def replay_safe(spec):
+    path, offset = spec
+    with open(path, "rb") as fh:  # opened inside the worker: fine
+        fh.seek(offset)
+        return fh.read(16)
+
+
+def run_replay_safe(specs):
+    return parallel_map(replay_safe, specs)
+
+
+# -- C004: pool items need a deterministic enumeration ----------------------
+
+def scale(path):
+    return len(path)
+
+
+def run_scale(paths):
+    # C004: set() order varies run to run, so the merge order does too.
+    return parallel_map(scale, set(paths))
+
+
+def run_scale_sorted(paths):
+    return parallel_map(scale, sorted(set(paths)))

@@ -1,0 +1,1 @@
+"""Crash-safety fixture: a tiny repro-shaped tree with W-series bugs."""

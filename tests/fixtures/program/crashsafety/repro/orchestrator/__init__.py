@@ -1,0 +1,1 @@
+"""Fixture copy of the orchestrator package (journal discipline)."""

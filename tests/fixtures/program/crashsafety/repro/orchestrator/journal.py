@@ -1,0 +1,11 @@
+"""Fixture copy of the checksummed journal (the sanctioned mutator)."""
+
+import os
+
+
+def append(record):
+    # Sanctioned: the journal module owns its append path.
+    with open("sweep_journal.ndjson", "a") as fh:
+        fh.write(record + "\n")
+        fh.flush()
+        os.fsync(fh.fileno())

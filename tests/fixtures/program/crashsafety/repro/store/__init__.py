@@ -1,0 +1,1 @@
+"""Fixture copy of the store package (atomic sidecar writes)."""

@@ -1,0 +1,21 @@
+"""Fixture copy of the sanctioned raw-write plumbing module."""
+
+import json
+import os
+
+
+def write_json_atomic(path, payload):
+    tmp = path + ".tmp"
+    with open(tmp, "w") as fh:
+        json.dump(payload, fh)
+        fh.flush()
+        os.fsync(fh.fileno())
+    os.replace(tmp, path)
+    return path
+
+
+def rewrite_meta(payload):
+    # A raw in-place write: sanctioned only because this module IS
+    # repro.store.atomic — the same line anywhere else is a W001.
+    with open("store_meta.json", "w") as fh:
+        json.dump(payload, fh)

@@ -113,6 +113,65 @@ def test_fixture_determinism_module_may_mint():
     assert all("determinism" not in path for path in paths)
 
 
+def test_concurrency_fixture_trips_every_c_rule():
+    proc = run_analyze_cli(str(FIXTURES / "concurrency"), "--no-cache",
+                           "--select", "C", "--format", "json")
+    assert proc.returncode == 1, proc.stdout + proc.stderr
+    rules, _ = rules_found(proc)
+    # Exactly one finding per rule: every safe twin in the fixture
+    # (read-only capture, start+i index, worker-opened handle,
+    # sorted(set(...)) items) must pass.
+    assert rules == ["C001", "C002", "C003", "C004"]
+
+
+def test_concurrency_messages_name_the_culprits():
+    proc = run_analyze_cli(str(FIXTURES / "concurrency"), "--no-cache",
+                           "--select", "C")
+    assert "repro.spool.CACHE" in proc.stdout  # C001 mutated global
+    assert "out[i]" in proc.stdout  # C002 unprovable index
+    assert "repro.spool.TRACE" in proc.stdout  # C003 parent handle
+    assert "set()" in proc.stdout  # C004 unordered items
+
+
+def test_c002_accepts_start_offset_form():
+    proc = run_analyze_cli(str(FIXTURES / "concurrency"), "--no-cache",
+                           "--select", "C002", "--format", "json")
+    _, payload = rules_found(proc)
+    assert len(payload["findings"]) == 1
+    assert "fill_rows" in payload["findings"][0]["message"]
+    assert "fill_rows_safe" not in payload["findings"][0]["message"]
+
+
+def test_crashsafety_fixture_trips_every_w_rule():
+    proc = run_analyze_cli(str(FIXTURES / "crashsafety"), "--no-cache",
+                           "--select", "W", "--format", "json")
+    assert proc.returncode == 1, proc.stdout + proc.stderr
+    rules, _ = rules_found(proc)
+    # W001 twice: the direct json.dump and the interprocedurally
+    # resolved _dump("spool_counts.json") call site.  The atomic twin
+    # (tmp sibling -> fsync -> rename through the same helper) passes.
+    assert rules == ["W001", "W001", "W002", "W003"]
+
+
+def test_w001_resolves_helper_writes_at_call_sites():
+    proc = run_analyze_cli(str(FIXTURES / "crashsafety"), "--no-cache",
+                           "--select", "W001", "--format", "json")
+    _, payload = rules_found(proc)
+    messages = [f["message"] for f in payload["findings"]]
+    assert any("_dump" in m and "spool_counts" in m for m in messages)
+
+
+def test_atomic_and_journal_modules_are_exempt():
+    proc = run_analyze_cli(str(FIXTURES / "crashsafety"), "--no-cache",
+                           "--select", "W", "--format", "json")
+    _, payload = rules_found(proc)
+    paths = {f["path"] for f in payload["findings"]}
+    # store/atomic.py rewrites a published path in place and the
+    # journal fixture appends to sweep_journal.ndjson: both sanctioned.
+    assert all("atomic" not in path for path in paths)
+    assert all("orchestrator" not in path for path in paths)
+
+
 # ---------------------------------------------------------------------------
 # noqa suppression flows through to program rules.
 # ---------------------------------------------------------------------------
@@ -130,6 +189,25 @@ def test_program_noqa_suppresses(tmp_path):
                            cache_dir=None)
     assert result.findings == []
     assert result.suppressed == 1
+
+
+def test_max_waivers_budget(tmp_path):
+    tree = tmp_path / "repro"
+    tree.mkdir()
+    (tree / "__init__.py").write_text("")
+    (tree / "rogue.py").write_text(
+        "import numpy as np\n\n\n"
+        "def minted():\n"
+        "    return np.random.default_rng(7)"
+        "  # repro: noqa[T001]\n")
+    # The waiver keeps the tree clean, but it still spends budget.
+    proc = run_analyze_cli(str(tmp_path), "--no-cache", "--select",
+                           "T", "--max-waivers", "1")
+    assert proc.returncode == 0, proc.stdout + proc.stderr
+    proc = run_analyze_cli(str(tmp_path), "--no-cache", "--select",
+                           "T", "--max-waivers", "0")
+    assert proc.returncode == 1
+    assert "waiver" in proc.stdout
 
 
 # ---------------------------------------------------------------------------
@@ -206,6 +284,43 @@ def test_cache_invalidates_on_content_change(tmp_path):
     assert warm.from_cache > 0
 
 
+def test_effect_table_round_trips_through_cache(tmp_path):
+    from repro.devtools.program.effects import (
+        attach_cached_table,
+        effect_table,
+    )
+    cache = tmp_path / "cache"
+    cold = analyze_paths([str(FIXTURES / "crashsafety")], select=["W"],
+                         cache_dir=str(cache))
+    payload = json.loads((cache / "program-index.json").read_text())
+    assert payload.get("effects"), "effect summaries not persisted"
+
+    # A fresh index adopts the cached table instead of re-inferring.
+    index = build_index([str(FIXTURES / "crashsafety")],
+                        cache_dir=None)
+    assert attach_cached_table(index, payload["effects"])
+    assert effect_table(index).from_cache
+
+    # And the warm analyze run reproduces the cold findings exactly.
+    warm = analyze_paths([str(FIXTURES / "crashsafety")], select=["W"],
+                         cache_dir=str(cache))
+    assert warm.extracted == 0
+    assert warm.findings == cold.findings
+
+
+def test_effect_table_cache_rejects_stale_key(tmp_path):
+    from repro.devtools.program.effects import attach_cached_table
+    tree = tmp_path / "tree"
+    shutil.copytree(FIXTURES / "crashsafety", tree)
+    cache = tmp_path / "cache"
+    analyze_paths([str(tree)], select=["W"], cache_dir=str(cache))
+    payload = json.loads((cache / "program-index.json").read_text())
+    target = tree / "repro" / "spool.py"
+    target.write_text(target.read_text() + "\nEXTRA = 1\n")
+    index = build_index([str(tree)], cache_dir=None)
+    assert not attach_cached_table(index, payload["effects"])
+
+
 def test_corrupt_cache_is_ignored(tmp_path):
     cache = tmp_path / "cache"
     cache.mkdir()
@@ -237,7 +352,8 @@ def test_list_rules_covers_all_families():
     proc = run_analyze_cli("--list-rules")
     assert proc.returncode == 0
     for rule_id in ("L001", "L002", "L003", "X001", "X002", "X003",
-                    "T001", "T002", "T003"):
+                    "T001", "T002", "T003", "C001", "C002", "C003",
+                    "C004", "W001", "W002", "W003"):
         assert rule_id in proc.stdout
 
 
@@ -299,11 +415,16 @@ def test_index_resolution_follows_reexports():
 
 @pytest.mark.perf
 def test_warm_cache_at_least_5x_faster(tmp_path):
+    # The default selection includes the C/W families, so the cold run
+    # pays for effect inference and the warm runs must reuse the
+    # persisted effect table as well as the per-file extractions.
     cache = tmp_path / "cache"
     started = time.perf_counter()
     cold = analyze_paths([str(SRC_REPRO)], cache_dir=str(cache))
     cold_s = time.perf_counter() - started
     assert cold.extracted > 0
+    cached = json.loads((cache / "program-index.json").read_text())
+    assert cached.get("effects"), "effect summaries not persisted"
 
     warm_s = float("inf")
     for _ in range(3):  # best-of-3 to shrug off scheduler noise

@@ -85,3 +85,58 @@ class TestTornWrites:
         # The intact prefix survives; nothing bogus is invented.
         assert all(key in {f"key{i}" for i in range(4)}
                    for key in records)
+
+
+class TestRepairEdges:
+    """``replay(repair=True)`` at the awkward corners."""
+
+    def test_repair_of_empty_file_is_a_noop(self, journal):
+        journal.path.write_bytes(b"")
+        records, dropped = journal.replay(repair=True)
+        assert (records, dropped) == ({}, 0)
+        assert journal.path.stat().st_size == 0
+
+    def test_repair_of_clean_file_changes_nothing(self, journal):
+        for i in range(2):
+            journal.append(record(i))
+        before = journal.path.read_bytes()
+        records, dropped = journal.replay(repair=True)
+        assert dropped == 0
+        assert sorted(records) == ["key0", "key1"]
+        assert journal.path.read_bytes() == before
+
+    def test_exactly_one_torn_line_repairs_to_empty(self, journal):
+        journal.append(record(0))
+        # Tear the ONLY record: the verified prefix is zero bytes.
+        data = journal.path.read_bytes()
+        journal.path.write_bytes(data[:len(data) // 2])
+        records, dropped = journal.replay(repair=True)
+        assert records == {}
+        assert dropped > 0
+        assert journal.path.stat().st_size == 0
+        # The journal is fully usable again after the repair.
+        journal.append(record(5))
+        assert sorted(journal.replay()[0]) == ["key5"]
+
+    def test_trailing_partial_crc_is_dropped(self, journal):
+        journal.append(record(0))
+        good = journal.path.read_bytes()
+        # A second line whose body parses but whose crc is truncated
+        # to a prefix: the checksum comparison must reject it.
+        bad = good.decode().replace('"crc":"', '"crc":"000')
+        journal.path.write_bytes(good + bad.encode())
+        records, dropped = journal.replay(repair=True)
+        assert sorted(records) == ["key0"]
+        assert dropped == len(bad)
+        assert journal.path.read_bytes() == good
+
+    def test_repair_is_idempotent(self, journal):
+        for i in range(3):
+            journal.append(record(i))
+        tear_file(journal.path, drop_bytes=5)
+        journal.replay(repair=True)
+        after_first = journal.path.read_bytes()
+        records, dropped = journal.replay(repair=True)
+        assert dropped == 0
+        assert journal.path.read_bytes() == after_first
+        assert sorted(records) == ["key0", "key1"]

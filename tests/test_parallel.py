@@ -118,6 +118,23 @@ class TestDefaultWorkers:
                             lambda pid: {0, 1, 2, 3, 4})
         assert default_workers() == 5
 
+    def test_ladder_order_env_beats_affinity_beats_cpu_count(
+            self, monkeypatch):
+        # The full ladder, each rung distinct so order is observable:
+        # REPRO_WORKERS=2 > affinity mask of 5 > cpu_count of 7.
+        import os
+        if not hasattr(os, "sched_getaffinity"):
+            pytest.skip("platform has no scheduler affinity")
+        monkeypatch.setattr(os, "sched_getaffinity",
+                            lambda pid: {0, 1, 2, 3, 4})
+        monkeypatch.setattr(os, "cpu_count", lambda: 7)
+        monkeypatch.setenv("REPRO_WORKERS", "2")
+        assert default_workers() == 2  # env wins over both
+        monkeypatch.delenv("REPRO_WORKERS")
+        assert default_workers() == 5  # affinity wins over cpu_count
+        monkeypatch.delattr(os, "sched_getaffinity")
+        assert default_workers() == 7  # cpu_count is the last rung
+
 
 class TestSerialFallback:
     """The silent serial fallback, proven rather than assumed."""
