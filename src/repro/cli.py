@@ -236,6 +236,10 @@ def _bench_row(engine: str, workers: int, args, repeats: int) -> dict:
         "workers": workers,
         "traces": traces,
         "slots": slots,
+        # The declared computation dtype of the step columns both
+        # engines run over (every engine allocation passes dtype=
+        # explicitly; rule Y002 keeps it that way).
+        "dtype": np.dtype(np.float64).name,
         "wall_s": wall_s,
         "generate_s": t_gen,
         "simulate_s": t_sim,

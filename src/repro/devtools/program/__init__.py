@@ -26,12 +26,30 @@ families over it:
 * **W-series** — crash safety: truncating writes to published paths
   (tmp→rename scopes are proven safe interprocedurally), publish
   renames without a preceding fsync, and journal/manifest mutation
-  outside the orchestrator's checksummed append path.
+  outside the orchestrator's checksummed append path;
+* **S-series** — shape/axis contracts over the array-semantics
+  inference of :mod:`.arrays`: statically incompatible broadcasts at
+  call sites, sample-major ``(T, n, 3)`` trace tensors crossing the
+  ``motion``→``simulate`` boundary (the engines are axis-major
+  ``(T, 3, n)``), and unit-suffixed functions returning a freshly
+  constructed shape;
+* **Y-series** — dtype stability on the hot path: implicit
+  promotions of declared-dtype arrays, allocations without an
+  explicit ``dtype=``, and bool-array arithmetic that silently
+  upcasts;
+* **P/K-series** — hot-path and kernel discipline: per-iteration
+  allocation and vectorizable Python loops in the batch engines, and
+  the nopython-safe subset check over every
+  ``@repro.determinism.kernel``-registered function and its
+  transitive call closure (no object containers, no mutable module
+  state, static signatures) — a static proof the kernel is ready for
+  a compiled (numba/CuPy) backend.
 
 Run it as ``python -m repro analyze``.  The index is cached on disk
-keyed by content hash (warm re-runs skip parsing entirely) and
-findings ratchet against a committed baseline file — new findings
-fail, pre-existing ones are frozen until burned down.
+keyed by content hash (warm re-runs skip parsing entirely), the
+effect and array fixpoints are cached as separate tiers, and findings
+ratchet against a committed baseline file — new findings fail,
+pre-existing ones are frozen until burned down.
 """
 
 from .analyzer import (
@@ -41,6 +59,16 @@ from .analyzer import (
     load_baseline,
     run_program_rules,
     write_baseline,
+)
+from .arrays import (
+    ArraySummary,
+    ArrayTable,
+    ArrayValue,
+    array_table,
+    arrays_key,
+    hot_modules,
+    kernel_closure,
+    kernel_functions,
 )
 from .effects import (
     EffectSummary,
@@ -73,6 +101,9 @@ from .registry import (
 
 __all__ = [
     "AnalyzeResult",
+    "ArraySummary",
+    "ArrayTable",
+    "ArrayValue",
     "CallSite",
     "ClassInfo",
     "DEFAULT_BASELINE",
@@ -89,10 +120,15 @@ __all__ = [
     "ValueDesc",
     "all_program_rules",
     "analyze_paths",
+    "array_table",
+    "arrays_key",
     "build_index",
     "effect_table",
     "effects_key",
     "extract_module",
+    "hot_modules",
+    "kernel_closure",
+    "kernel_functions",
     "load_baseline",
     "module_name_for",
     "register_program_rule",

@@ -11,12 +11,18 @@ from __future__ import annotations
 
 import hashlib
 import json
-from dataclasses import dataclass
+import time
+from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Sequence, Set, Tuple
 
 from ...store.atomic import write_json_atomic
 from ..engine import LintResult, iter_python_files
 from ..findings import Finding
+from .arrays import (
+    ARRAYS_SCHEMA_VERSION,
+    attach_cached_array_table,
+    serialized_array_table,
+)
 from .effects import (
     EFFECTS_SCHEMA_VERSION,
     attach_cached_table,
@@ -42,12 +48,20 @@ DEFAULT_BASELINE = ".analyze-baseline.json"
 
 @dataclass
 class AnalyzeResult(LintResult):
-    """Lint-shaped result plus whole-program bookkeeping."""
+    """Lint-shaped result plus whole-program bookkeeping.
+
+    ``profile`` holds per-rule-family wall time ("families": letter →
+    seconds, empty when the results tier short-circuited the run) and
+    cache hit/miss counters ("cache": results/effects/arrays tier
+    state plus files reused vs. re-extracted) — what ``analyze
+    --profile`` renders.
+    """
 
     from_cache: int = 0
     extracted: int = 0
     baselined: int = 0
     stale_baseline: int = 0
+    profile: Dict[str, Any] = field(default_factory=dict)
 
 
 def fingerprint(finding: Finding) -> Tuple[str, str, str]:
@@ -89,14 +103,21 @@ def write_baseline(path: str, findings: Sequence[Finding]) -> None:
 
 def run_program_rules(index: ProjectIndex,
                       select: Optional[Sequence[str]] = None,
-                      ignore: Optional[Sequence[str]] = None
+                      ignore: Optional[Sequence[str]] = None,
+                      timings: Optional[Dict[str, float]] = None
                       ) -> Tuple[List[Finding], int]:
-    """(findings, suppressed count) over an index, noqa applied."""
+    """(findings, suppressed count) over an index, noqa applied.
+
+    With a ``timings`` dict, per-rule-family wall time (seconds, keyed
+    by the rule-id letter prefix) is accumulated into it — the
+    ``--profile`` counters.
+    """
     rules = resolve_program_selection(select=select, ignore=ignore)
     by_path = {info.path: info for info in index.modules.values()}
     findings: List[Finding] = []
     suppressed = 0
     for rule in rules:
+        start = time.monotonic()
         for finding in rule.check(index):
             info = by_path.get(finding.path)
             if info is not None and \
@@ -104,6 +125,10 @@ def run_program_rules(index: ProjectIndex,
                 suppressed += 1
                 continue
             findings.append(finding)
+        if timings is not None:
+            family = rule.rule_id[:1]
+            timings[family] = timings.get(family, 0.0) + \
+                (time.monotonic() - start)
     findings.sort(key=Finding.sort_key)
     return findings, suppressed
 
@@ -117,7 +142,7 @@ def _run_key(shas: Dict[str, str],
                                                    ignore=ignore)]
     payload = json.dumps(
         [INDEX_SCHEMA_VERSION, EFFECTS_SCHEMA_VERSION,
-         sorted(shas.items()), sorted(rules)],
+         ARRAYS_SCHEMA_VERSION, sorted(shas.items()), sorted(rules)],
         sort_keys=True)
     return file_sha(payload)
 
@@ -146,6 +171,8 @@ def analyze_paths(paths: Sequence[str],
     """
     payload: Dict[str, Any] = {}
     run_key = None
+    cache_state = {"results": "miss", "effects": "miss",
+                   "arrays": "miss"}
     if cache_dir is not None:
         payload = load_cache(cache_dir)
         shas = {}
@@ -159,22 +186,30 @@ def analyze_paths(paths: Sequence[str],
                            column=f["column"], rule_id=f["rule"],
                            message=f["message"])
                    for f in results.get("findings", [])]
+            cache_state = {"results": "hit", "effects": "hit",
+                           "arrays": "hit"}
             return _finish(raw, baseline_path,
                            files_checked=int(results["files_checked"]),
                            suppressed=int(results["suppressed"]),
-                           from_cache=len(shas), extracted=0)
+                           from_cache=len(shas), extracted=0,
+                           profile=_profile({}, cache_state,
+                                            len(shas), 0))
 
     index = build_index(paths, cache_dir=cache_dir,
                         cached_payload=payload if cache_dir else None,
                         save=False)
     if cache_dir is not None:
-        # Third cache tier: reuse the effect-inference fixpoint when
-        # every input file is unchanged (e.g. a warm run with a
-        # different --select missed the results tier but can still
-        # skip re-deriving effect summaries).
-        attach_cached_table(index, payload.get("effects", {}))
+        # Third and fourth cache tiers: reuse the effect-inference and
+        # array-semantics fixpoints when every input file is unchanged
+        # (e.g. a warm run with a different --select missed the
+        # results tier but can still skip re-deriving the summaries).
+        if attach_cached_table(index, payload.get("effects", {})):
+            cache_state["effects"] = "hit"
+        if attach_cached_array_table(index, payload.get("arrays", {})):
+            cache_state["arrays"] = "hit"
+    timings: Dict[str, float] = {}
     raw, suppressed = run_program_rules(index, select=select,
-                                        ignore=ignore)
+                                        ignore=ignore, timings=timings)
     for path, line, message in index.syntax_errors:
         raw.append(Finding(path=path, line=line, column=1,
                            rule_id="E999",
@@ -186,6 +221,7 @@ def analyze_paths(paths: Sequence[str],
         files: Dict[str, Any] = dict(payload.get("files", {}))
         files.update(index.cache_entries)
         effects = serialized_table(index) or payload.get("effects")
+        arrays = serialized_array_table(index) or payload.get("arrays")
         next_payload: Dict[str, Any] = {
             "files": files,
             "results": {
@@ -197,17 +233,37 @@ def analyze_paths(paths: Sequence[str],
         }
         if effects is not None:
             next_payload["effects"] = effects
+        if arrays is not None:
+            next_payload["arrays"] = arrays
         save_cache(cache_dir, next_payload)
 
     return _finish(raw, baseline_path, files_checked=files_checked,
                    suppressed=suppressed,
                    from_cache=index.from_cache,
-                   extracted=index.extracted)
+                   extracted=index.extracted,
+                   profile=_profile(timings, cache_state,
+                                    index.from_cache, index.extracted))
+
+
+def _profile(timings: Dict[str, float], cache_state: Dict[str, str],
+             files_cached: int, files_extracted: int) -> Dict[str, Any]:
+    return {
+        "families": {family: round(seconds, 6)
+                     for family, seconds in sorted(timings.items())},
+        "cache": {
+            "results": cache_state["results"],
+            "effects": cache_state["effects"],
+            "arrays": cache_state["arrays"],
+            "files_cached": files_cached,
+            "files_extracted": files_extracted,
+        },
+    }
 
 
 def _finish(raw: List[Finding], baseline_path: Optional[str],
             files_checked: int, suppressed: int, from_cache: int,
-            extracted: int) -> AnalyzeResult:
+            extracted: int,
+            profile: Optional[Dict[str, Any]] = None) -> AnalyzeResult:
     baseline = load_baseline(baseline_path) if baseline_path else set()
     new = [f for f in raw if fingerprint(f) not in baseline]
     matched = {fingerprint(f) for f in raw} & baseline
@@ -218,4 +274,5 @@ def _finish(raw: List[Finding], baseline_path: Optional[str],
         from_cache=from_cache,
         extracted=extracted,
         baselined=len(raw) - len(new),
-        stale_baseline=len(baseline) - len(matched))
+        stale_baseline=len(baseline) - len(matched),
+        profile=profile or {})

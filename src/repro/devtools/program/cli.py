@@ -66,6 +66,10 @@ def add_analyze_arguments(parser: argparse.ArgumentParser) -> None:
         "--stats", action="store_true",
         help="print index/cache statistics after the report")
     parser.add_argument(
+        "--profile", action="store_true",
+        help="print per-rule-family wall time and cache hit/miss "
+             "counters (included under \"profile\" in --format json)")
+    parser.add_argument(
         "--list-rules", action="store_true",
         help="print the program-rule catalog and exit")
 
@@ -110,6 +114,8 @@ def run_analyze(args: argparse.Namespace) -> int:
             "baselined": result.baselined,
             "stale_baseline": result.stale_baseline,
         })
+        if args.profile:
+            payload["profile"] = result.profile
         print(json.dumps(payload, indent=2, sort_keys=True))
     elif args.format == "github":
         print(render_github(result))
@@ -128,6 +134,8 @@ def run_analyze(args: argparse.Namespace) -> int:
         print(f"index: {result.files_checked} modules "
               f"({result.from_cache} cached, {result.extracted} "
               f"extracted) in {elapsed:.3f} s")
+    if args.profile and args.format != "json":
+        _print_profile(result.profile, elapsed)
     if args.max_waivers is not None and \
             result.suppressed > args.max_waivers:
         print(f"analyze: {result.suppressed} noqa waiver"
@@ -138,3 +146,23 @@ def run_analyze(args: argparse.Namespace) -> int:
     if result.findings and not args.warn_only:
         return 1
     return 0
+
+
+def _print_profile(profile: dict, elapsed: float) -> None:
+    """Render the --profile counters (text formats)."""
+    families = profile.get("families", {})
+    cache = profile.get("cache", {})
+    if families:
+        widest = max(len(family) for family in families)
+        for family in sorted(families):
+            print(f"profile: family {family:<{widest}} "
+                  f"{families[family] * 1000.0:9.3f} ms")
+    else:
+        print("profile: rule families not run "
+              "(results cache hit)")
+    tiers = ", ".join(f"{tier} {cache.get(tier, 'miss')}"
+                      for tier in ("results", "effects", "arrays"))
+    print(f"profile: cache {tiers}; files "
+          f"{cache.get('files_cached', 0)} cached / "
+          f"{cache.get('files_extracted', 0)} extracted; total "
+          f"{elapsed:.3f} s")

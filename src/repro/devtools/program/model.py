@@ -14,7 +14,7 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, FrozenSet, Mapping, Optional, Tuple
 
 #: Bump when the extracted shape changes; stale caches are discarded.
-INDEX_SCHEMA_VERSION = 2
+INDEX_SCHEMA_VERSION = 3
 
 
 @dataclass(frozen=True)
@@ -159,6 +159,70 @@ class IndexWrite:
 
 
 @dataclass(frozen=True)
+class ArrayOp:
+    """One array-semantics fact inside a function body.
+
+    ``kind`` classifies the operation: ``alloc`` (a constructor with a
+    shape expression), ``alloc_like`` (``*_like`` constructors that
+    inherit shape and dtype), ``cast`` (``.astype``), ``convert``
+    (``asarray`` family — a view-or-copy that preserves both), ``copy``
+    / ``view`` (explicit copies and reshapes), ``concat`` (shape-growing
+    ``np.concatenate`` family), ``ufunc`` (elementwise arithmetic,
+    comparisons, np ufunc calls — ``func`` is the operator symbol or
+    callee), ``axis`` (axis-consuming reductions and scans), ``iter``
+    (a Python ``for`` loop — ``detail`` marks ``elementwise`` /
+    ``scan`` / ``name`` / ``plain``), ``object`` (dict/set construction,
+    what the kernel subset forbids), ``name`` (plain aliasing) and
+    ``kill`` (the bound name was reassigned to something opaque).
+
+    ``operands`` holds plain-name operands (shape and dtype flow),
+    ``subs`` subscripted base names (only dtype flows — a sliced view
+    has a different shape).  ``loop_depth`` counts enclosing ``for`` /
+    ``while`` statements — comprehensions are deliberately *not* loops.
+    ``bound_to`` is the assignment target (``<ret>`` for a returned
+    expression).
+    """
+
+    kind: str
+    func: str
+    lineno: int
+    col: int
+    loop_depth: int = 0
+    bound_to: Optional[str] = None
+    operands: Tuple[str, ...] = ()
+    subs: Tuple[str, ...] = ()
+    dims: Optional[Tuple[str, ...]] = None
+    dtype: Optional[str] = None
+    axis: Optional[str] = None
+    detail: str = ""
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "kind": self.kind, "func": self.func,
+            "lineno": self.lineno, "col": self.col,
+            "loop_depth": self.loop_depth, "bound_to": self.bound_to,
+            "operands": list(self.operands), "subs": list(self.subs),
+            "dims": list(self.dims) if self.dims is not None else None,
+            "dtype": self.dtype, "axis": self.axis,
+            "detail": self.detail,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "ArrayOp":
+        dims = payload["dims"]
+        return cls(
+            kind=payload["kind"], func=payload["func"],
+            lineno=payload["lineno"], col=payload["col"],
+            loop_depth=payload["loop_depth"],
+            bound_to=payload["bound_to"],
+            operands=tuple(payload["operands"]),
+            subs=tuple(payload["subs"]),
+            dims=tuple(dims) if dims is not None else None,
+            dtype=payload["dtype"], axis=payload["axis"],
+            detail=payload["detail"])
+
+
+@dataclass(frozen=True)
 class ParamInfo:
     """One declared parameter (or dataclass field)."""
 
@@ -197,7 +261,12 @@ class FunctionInfo:
     ``global_writes`` names module-level bindings the body rebinds or
     mutates in place, ``reads`` the free names loaded from enclosing
     scopes, and ``index_writes`` every subscript store — the raw facts
-    the effect-inference pass summarizes.
+    the effect-inference pass summarizes.  ``array_ops`` are the raw
+    array-semantics facts (:class:`ArrayOp`, nested defs excluded) the
+    array-inference pass consumes, ``decorators`` the dotted decorator
+    names (how ``@repro.determinism.kernel`` registration is seen
+    statically), and ``has_varargs`` / ``has_kwargs`` record ``*args``
+    / ``**kwargs`` in the signature (forbidden in the kernel subset).
     """
 
     qualname: str
@@ -209,6 +278,10 @@ class FunctionInfo:
     global_writes: Tuple[str, ...] = ()
     reads: Tuple[str, ...] = ()
     index_writes: Tuple[IndexWrite, ...] = ()
+    array_ops: Tuple[ArrayOp, ...] = ()
+    decorators: Tuple[str, ...] = ()
+    has_varargs: bool = False
+    has_kwargs: bool = False
 
     def param(self, name: str) -> Optional[ParamInfo]:
         for info in self.params:
@@ -226,6 +299,10 @@ class FunctionInfo:
             "global_writes": list(self.global_writes),
             "reads": list(self.reads),
             "index_writes": [w.to_dict() for w in self.index_writes],
+            "array_ops": [op.to_dict() for op in self.array_ops],
+            "decorators": list(self.decorators),
+            "has_varargs": self.has_varargs,
+            "has_kwargs": self.has_kwargs,
         }
 
     @classmethod
@@ -240,7 +317,12 @@ class FunctionInfo:
             global_writes=tuple(payload["global_writes"]),
             reads=tuple(payload["reads"]),
             index_writes=tuple(IndexWrite.from_dict(w)
-                               for w in payload["index_writes"]))
+                               for w in payload["index_writes"]),
+            array_ops=tuple(ArrayOp.from_dict(op)
+                            for op in payload["array_ops"]),
+            decorators=tuple(payload["decorators"]),
+            has_varargs=payload["has_varargs"],
+            has_kwargs=payload["has_kwargs"])
 
 
 @dataclass(frozen=True)

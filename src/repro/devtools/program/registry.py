@@ -57,8 +57,11 @@ def _load_program_rules() -> None:
     from . import (  # noqa: F401
         rules_concurrency,
         rules_crashsafety,
+        rules_dtypes,
+        rules_kernels,
         rules_layering,
         rules_rngflow,
+        rules_shapes,
         rules_unitflow,
     )
 

@@ -1,0 +1,84 @@
+"""Y-series: dtype stability on the hot path.
+
+A compiled backend specializes on the dtypes it first sees; an
+implicit promotion or a platform-defaulted allocation dtype silently
+doubles memory traffic or recompiles the kernel.  These rules are
+scoped to the hot modules (the batch engines, the columnar store, and
+any module registering a ``@repro.determinism.kernel``) — cold
+plumbing may let NumPy default freely.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Set
+
+from ..findings import Finding
+from .arrays import ArrayEvent, array_table, hot_modules
+from .index import ProjectIndex
+from .registry import ProgramRule, register_program_rule
+
+
+class _DtypeEventRule(ProgramRule):
+    """Shared scaffold: one event kind, hot modules only."""
+
+    event_kind = ""
+
+    def check(self, index: ProjectIndex) -> Iterator[Finding]:
+        table = array_table(index)
+        hot: Set[str] = set(hot_modules(index))
+        for event in table.events:
+            if event.kind != self.event_kind or \
+                    event.module not in hot:
+                continue
+            info = index.modules.get(event.module)
+            if info is None:
+                continue
+            yield self.finding(info, event.lineno, event.col,
+                               self.message(event))
+
+    def message(self, event: ArrayEvent) -> str:
+        raise NotImplementedError
+
+
+@register_program_rule
+class ImplicitPromotionRule(_DtypeEventRule):
+    """Y001: arithmetic silently widens a declared-dtype array."""
+
+    rule_id = "Y001"
+    summary = ("in hot modules, arithmetic on a declared-dtype array "
+               "must not silently promote it to a wider dtype")
+    event_kind = "promotion"
+
+    def message(self, event: ArrayEvent) -> str:
+        return (f"implicit dtype promotion: {event.detail}; cast "
+                "explicitly or keep the operands at one dtype")
+
+
+@register_program_rule
+class ImplicitAllocationDtypeRule(_DtypeEventRule):
+    """Y002: hot-path allocations carry an explicit dtype."""
+
+    rule_id = "Y002"
+    summary = ("in hot modules, np.empty/zeros/ones/full and array "
+               "literals must pass an explicit dtype=")
+    event_kind = "implicit-dtype"
+
+    def message(self, event: ArrayEvent) -> str:
+        return (f"allocation without explicit dtype: {event.detail}; "
+                "pass dtype= so the kernel's dtypes are declared, not "
+                "defaulted")
+
+
+@register_program_rule
+class BoolArithmeticRule(_DtypeEventRule):
+    """Y003: arithmetic on bool arrays upcasts behind your back."""
+
+    rule_id = "Y003"
+    summary = ("in hot modules, arithmetic (+ - * /) on a bool array "
+               "silently upcasts; use logical ops (& | ~) or an "
+               "explicit cast")
+    event_kind = "bool-arith"
+
+    def message(self, event: ArrayEvent) -> str:
+        return (f"bool-array arithmetic: {event.detail} upcasts to an "
+                "integer dtype; use &, |, ~ or cast explicitly")

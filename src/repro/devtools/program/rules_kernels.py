@@ -1,0 +1,203 @@
+"""P/K-series: hot-path allocation discipline and the kernel subset.
+
+P-rules police the hot modules for per-iteration allocation and
+Python-level element loops — the two habits that cap a batch engine an
+order of magnitude below memory bandwidth.  K-rules check every
+``@repro.determinism.kernel``-registered function *and its transitive
+project-call closure* against the nopython-safe subset a compiled
+backend (numba ``@njit`` or a CuPy raw kernel) accepts: no
+dict/set/object-dtype values, no mutable module state, no ``*args`` /
+``**kwargs``, and no output built by concatenation — so K-clean is a
+static proof the kernel is migration-ready.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Set, Tuple
+
+from ..findings import Finding
+from .arrays import (
+    ArrayEvent,
+    array_table,
+    hot_modules,
+    kernel_closure,
+    kernel_functions,
+)
+from .index import ProjectIndex
+from .model import FunctionInfo, ModuleInfo
+from .registry import ProgramRule, register_program_rule
+
+
+class _HotEventRule(ProgramRule):
+    """Shared scaffold: one event kind, hot modules only."""
+
+    event_kind = ""
+
+    def check(self, index: ProjectIndex) -> Iterator[Finding]:
+        table = array_table(index)
+        hot: Set[str] = set(hot_modules(index))
+        for event in table.events:
+            if event.kind != self.event_kind or \
+                    event.module not in hot:
+                continue
+            info = index.modules.get(event.module)
+            if info is None:
+                continue
+            yield self.finding(info, event.lineno, event.col,
+                               self.message(event))
+
+    def message(self, event: ArrayEvent) -> str:
+        raise NotImplementedError
+
+
+@register_program_rule
+class LoopAllocationRule(_HotEventRule):
+    """P001: no allocation or concatenation inside a hot loop."""
+
+    rule_id = "P001"
+    summary = ("in hot modules, array allocation and np.concatenate/"
+               "np.append inside a loop reallocate per iteration; "
+               "hoist the buffer out of the loop")
+    event_kind = "loop-alloc"
+
+    def message(self, event: ArrayEvent) -> str:
+        return (f"allocation in loop: {event.detail} in "
+                f"{event.function}; hoist the buffer and write into "
+                "it")
+
+
+@register_program_rule
+class PythonLoopRule(_HotEventRule):
+    """P002: no element-wise Python loops where a ufunc would do."""
+
+    rule_id = "P002"
+    summary = ("in hot modules, a Python for-loop indexing arrays "
+               "element-wise is a vectorized op written long-hand; "
+               "loop-carried scans are exempt")
+    event_kind = "python-loop"
+
+    def message(self, event: ArrayEvent) -> str:
+        return (f"vectorizable Python loop: {event.detail} in "
+                f"{event.function}; replace with a whole-array op")
+
+
+class _KernelRule(ProgramRule):
+    """Shared scaffold: walk each kernel's transitive closure."""
+
+    def check(self, index: ProjectIndex) -> Iterator[Finding]:
+        seen: Set[Tuple[str, int, str]] = set()
+        for module, qualname, _ in kernel_functions(index):
+            closure = kernel_closure(index, module, qualname)
+            kernel = f"{module}.{qualname}"
+            for fn_module, fn_qualname, function in closure:
+                info = index.modules.get(fn_module)
+                if info is None:
+                    continue
+                site = "" if fn_qualname == qualname and \
+                    fn_module == module else \
+                    f" (reached from kernel {kernel})"
+                for found in self.check_function(
+                        info, fn_qualname, function, site):
+                    key = (found.path, found.line, found.message)
+                    if key not in seen:
+                        seen.add(key)
+                        yield found
+
+    def check_function(self, info: ModuleInfo, qualname: str,
+                       function: FunctionInfo,
+                       site: str) -> Iterator[Finding]:
+        raise NotImplementedError
+
+
+@register_program_rule
+class KernelObjectOpsRule(_KernelRule):
+    """K001: no dict/set/object-dtype values in a kernel closure."""
+
+    rule_id = "K001"
+    summary = ("a registered kernel and everything it calls must not "
+               "build dicts, sets, or object-dtype arrays — none "
+               "exist in nopython mode")
+
+    def check_function(self, info: ModuleInfo, qualname: str,
+                       function: FunctionInfo,
+                       site: str) -> Iterator[Finding]:
+        for op in function.array_ops:
+            if op.kind == "object":
+                yield self.finding(
+                    info, op.lineno, op.col,
+                    f"kernel subset violation: {qualname} builds a "
+                    f"Python {op.func}{site}; nopython mode has no "
+                    "object containers")
+            elif op.kind in ("alloc", "cast", "convert") and \
+                    op.dtype == "object":
+                yield self.finding(
+                    info, op.lineno, op.col,
+                    f"kernel subset violation: {qualname} allocates "
+                    f"an object-dtype array{site}")
+
+
+@register_program_rule
+class KernelMutableStateRule(_KernelRule):
+    """K002: no mutable module state touched from a kernel closure."""
+
+    rule_id = "K002"
+    summary = ("a registered kernel and everything it calls must not "
+               "write globals, read mutable module state, or close "
+               "over nested defs")
+
+    def check_function(self, info: ModuleInfo, qualname: str,
+                       function: FunctionInfo,
+                       site: str) -> Iterator[Finding]:
+        if function.global_writes:
+            names = ", ".join(sorted(function.global_writes))
+            yield self.finding(
+                info, function.lineno, 0,
+                f"kernel subset violation: {qualname} writes module "
+                f"state ({names}){site}; kernels must be pure over "
+                "their arguments")
+        mutable = set(info.mutable_globals) & set(function.reads)
+        if mutable:
+            names = ", ".join(sorted(mutable))
+            yield self.finding(
+                info, function.lineno, 0,
+                f"kernel subset violation: {qualname} reads mutable "
+                f"module state ({names}){site}; pass it as an "
+                "argument instead")
+        prefix = qualname + "."
+        nested = sorted(
+            name for name in info.functions
+            if name.startswith(prefix) and "." not in
+            name[len(prefix):])
+        if nested:
+            yield self.finding(
+                info, function.lineno, 0,
+                f"kernel subset violation: {qualname} defines nested "
+                f"function(s) {', '.join(nested)}{site}; closures "
+                "capture state a compiled backend cannot see")
+
+
+@register_program_rule
+class KernelSignatureRule(_KernelRule):
+    """K003: static signatures, outputs not grown by concatenation."""
+
+    rule_id = "K003"
+    summary = ("a registered kernel and everything it calls must take "
+               "a static signature (no *args/**kwargs) and must not "
+               "return a concatenation-grown array")
+
+    def check_function(self, info: ModuleInfo, qualname: str,
+                       function: FunctionInfo,
+                       site: str) -> Iterator[Finding]:
+        if function.has_varargs or function.has_kwargs:
+            star = "**kwargs" if function.has_kwargs else "*args"
+            yield self.finding(
+                info, function.lineno, 0,
+                f"kernel subset violation: {qualname} takes {star}"
+                f"{site}; compiled kernels need a static signature")
+        for op in function.array_ops:
+            if op.kind == "concat" and op.bound_to == "<ret>":
+                yield self.finding(
+                    info, op.lineno, op.col,
+                    f"kernel subset violation: {qualname} returns "
+                    f"{op.func}(...){site}; preallocate the output "
+                    "and write into it")

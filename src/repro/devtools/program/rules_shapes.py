@@ -1,0 +1,83 @@
+"""S-series: interprocedural shape and axis-order contracts.
+
+These consume the :class:`~.arrays.ArrayTable` events the
+array-semantics pass emits while replaying every function with the
+converged return-summary table.  They are global (not hot-module
+gated): a shape contract broken anywhere is a crash or a silent
+mis-broadcast waiting for the first caller.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from ..findings import Finding
+from .arrays import ArrayEvent, array_table
+from .index import ProjectIndex
+from .registry import ProgramRule, register_program_rule
+
+
+class _ShapeEventRule(ProgramRule):
+    """Shared scaffold: turn one event kind into findings."""
+
+    event_kind = ""
+
+    def check(self, index: ProjectIndex) -> Iterator[Finding]:
+        table = array_table(index)
+        for event in table.events:
+            if event.kind != self.event_kind:
+                continue
+            info = index.modules.get(event.module)
+            if info is None:
+                continue
+            yield self.finding(info, event.lineno, event.col,
+                               self.message(event))
+
+    def message(self, event: ArrayEvent) -> str:
+        raise NotImplementedError
+
+
+@register_program_rule
+class BroadcastRule(_ShapeEventRule):
+    """S001: statically incompatible broadcast at a call site."""
+
+    rule_id = "S001"
+    summary = ("arguments a callee combines elementwise must be "
+               "statically broadcast-compatible (right-aligned dims "
+               "equal or 1)")
+    event_kind = "broadcast"
+
+    def message(self, event: ArrayEvent) -> str:
+        return (f"incompatible broadcast: {event.detail}; the shapes "
+                "cannot broadcast together")
+
+
+@register_program_rule
+class AxisOrderRule(_ShapeEventRule):
+    """S002: trace tensors crossing motion→simulate are axis-major."""
+
+    rule_id = "S002"
+    summary = ("trace tensors passed into repro.motion / "
+               "repro.simulate must be axis-major (T, 3, n), not "
+               "sample-major (T, n, 3)")
+    event_kind = "axis-order"
+
+    def message(self, event: ArrayEvent) -> str:
+        return (f"axis-order violation: {event.detail}; transpose to "
+                "(T, 3, n) before crossing the engine boundary")
+
+
+@register_program_rule
+class ReturnShapeRule(_ShapeEventRule):
+    """S003: unit-suffixed functions preserve their input's shape."""
+
+    rule_id = "S003"
+    summary = ("a unit-suffixed function taking an array must return "
+               "a value shaped like its input, not a freshly "
+               "constructed shape")
+    event_kind = "return-shape"
+
+    def message(self, event: ArrayEvent) -> str:
+        return (f"return-shape mismatch: {event.detail} — a "
+                "unit-suffixed signature promises an elementwise "
+                "conversion")

@@ -29,7 +29,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from .. import constants
-from ..determinism import derive
+from ..determinism import derive, kernel
 from ..parallel import parallel_map_arrays
 from ..store import ColumnGroup, ColumnStore
 from .traces import VIDEO_360, HeadTrace, TraceProfile, _lfilter
@@ -127,8 +127,10 @@ class TraceBatch:
                     "engine needs a rectangular corpus")
         with_pose = columns == "full"
         return cls(
-            viewer_ids=np.array([t.viewer for t in traces]),
-            video_ids=np.array([t.video for t in traces]),
+            viewer_ids=np.array([t.viewer for t in traces],
+                                dtype=np.int64),
+            video_ids=np.array([t.video for t in traces],
+                               dtype=np.int64),
             dt_s=dt_s,
             step_linear_m=np.stack([t.step_linear_m for t in traces]),
             step_angular_rad=np.stack(
@@ -189,10 +191,10 @@ def _draw_streams(ids: Sequence[Tuple[int, int]], profile: TraceProfile,
     batch engine; everything after it is one tensor pass.
     """
     t_count = len(ids)
-    z_ang = np.empty((t_count, 3, n))
-    z_vel = np.empty((t_count, 3, n))
-    sigma_ang = np.empty((t_count, 3))
-    sigma_vel = np.empty(t_count)
+    z_ang = np.empty((t_count, 3, n), dtype=np.float64)
+    z_vel = np.empty((t_count, 3, n), dtype=np.float64)
+    sigma_ang = np.empty((t_count, 3), dtype=np.float64)
+    sigma_vel = np.empty(t_count, dtype=np.float64)
     bursts: List[Tuple[int, int, int, float]] = []
     saccades_on = profile.saccade_rate_hz > 0
     expected = profile.saccade_rate_hz * n * dt_s
@@ -223,6 +225,7 @@ def _draw_streams(ids: Sequence[Tuple[int, int]], profile: TraceProfile,
     return z_ang, z_vel, sigma_ang, sigma_vel, bursts
 
 
+@kernel
 def _ou_filter(z: np.ndarray, sigma: np.ndarray, dt_s: float,
                tau: float) -> np.ndarray:
     """Batched stationary-start OU: AR(1) over the last axis.
@@ -251,7 +254,7 @@ def _deposit_saccades(shape: Tuple[int, int],
     if not bursts:
         return None
     t_count, n = shape
-    series = np.zeros(shape)
+    series = np.zeros(shape, dtype=np.float64)
     flat = series.reshape(-1)
     spans = [(t * n + max(c - w, 0), t * n + min(c + w, n))
              for t, c, w, _ in bursts]
@@ -385,8 +388,10 @@ def generate_batch(viewers: int = 50, videos: int = 10,
         batched=True)
 
     batch = TraceBatch(
-        viewer_ids=np.array([viewer for viewer, _ in ids]),
-        video_ids=np.array([video for _, video in ids]),
+        viewer_ids=np.array([viewer for viewer, _ in ids],
+                            dtype=np.int64),
+        video_ids=np.array([video for _, video in ids],
+                           dtype=np.int64),
         dt_s=dt_s,
         step_linear_m=cols["step_linear_m"],
         step_angular_rad=cols["step_angular_rad"],

@@ -24,6 +24,7 @@ from typing import Dict, List, Optional, Sequence, Union
 
 import numpy as np
 
+from ..determinism import kernel
 from ..motion import HeadTrace
 from ..motion.batch import TraceBatch
 from ..parallel import parallel_map_arrays
@@ -64,7 +65,7 @@ class BatchTimeslotResult:
     def per_trace_availability(self) -> np.ndarray:
         """Connected fraction per trace (0.0 for empty replays)."""
         if self.slots == 0:
-            return np.zeros(len(self))
+            return np.zeros(len(self), dtype=np.float64)
         return np.mean(self.connected, axis=1)
 
     # -- columnar store integration --------------------------------------
@@ -103,6 +104,7 @@ def _drift_no_realign(rates: np.ndarray, residual: float,
     return np.cumsum(inc, axis=1, out=inc)
 
 
+@kernel
 def _connected_rows(step_linear: np.ndarray, step_angular: np.ndarray,
                     params: TimeslotParams,
                     slots_per_report: int) -> np.ndarray:
@@ -140,8 +142,10 @@ def _connected_rows(step_linear: np.ndarray, step_angular: np.ndarray,
 
     # Report 0: no realignment (the link starts aligned), one ramp
     # from the residual across the full interval.
-    acc0_lat = np.full(t_count, params.residual_lateral_m)
-    acc0_ang = np.full(t_count, params.residual_angular_rad)
+    acc0_lat = np.full(t_count, params.residual_lateral_m,
+                       dtype=np.float64)
+    acc0_ang = np.full(t_count, params.residual_angular_rad,
+                       dtype=np.float64)
     for sub in range(slots):
         acc0_lat += rates_lat[:, 0]
         acc0_ang += rates_ang[:, 0]
@@ -167,8 +171,8 @@ def _connected_rows(step_linear: np.ndarray, step_angular: np.ndarray,
     if latency > 0:
         # Reports >= 1, slots [0, latency): the previous interval's
         # final error carries across the boundary until realignment.
-        carry_lat = np.empty((t_count, n - 1))
-        carry_ang = np.empty((t_count, n - 1))
+        carry_lat = np.empty((t_count, n - 1), dtype=np.float64)
+        carry_ang = np.empty((t_count, n - 1), dtype=np.float64)
         carry_lat[:, 0] = acc0_lat
         carry_ang[:, 0] = acc0_ang
         carry_lat[:, 1:] = acc_lat[:, :-1]

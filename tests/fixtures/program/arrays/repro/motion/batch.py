@@ -1,0 +1,91 @@
+"""Fixture hot module: Y (dtype) and P (hot-path) rules, TP and TN.
+
+The module name ``repro.motion.batch`` puts every function here on
+the analyzer's hot-module list, so the Y/P rules apply.
+"""
+
+import numpy as np
+
+
+def implicit_alloc(n):
+    return np.empty((n, 3))                      # Y002: no dtype=
+
+
+def explicit_alloc(n):
+    return np.empty((n, 3), dtype=np.float64)    # exempt: declared
+
+
+def literal_ids(values):
+    ids = np.array([v for v in values])          # Y002: literal, no dtype
+    return ids
+
+
+def promoted(n):
+    small = np.zeros(n, dtype=np.float32)
+    big = np.zeros(n, dtype=np.float64)
+    return small * big                           # Y001: f32 -> f64
+
+
+def stable(n):
+    a = np.zeros(n, dtype=np.float32)
+    b = np.zeros(n, dtype=np.float32)
+    return a * b                                 # exempt: one dtype
+
+
+def bool_arith(n):
+    flags = np.zeros(n, dtype=np.bool_)
+    other = np.ones(n, dtype=np.float64)
+    return flags * other                         # Y003: bool upcast
+
+
+def bool_logic(n):
+    a = np.zeros(n, dtype=np.bool_)
+    b = np.ones(n, dtype=np.bool_)
+    return a & b                                 # exempt: logical op
+
+
+def alloc_in_loop(chunks):
+    total = 0.0
+    for chunk in chunks:
+        scratch = np.empty(16, dtype=np.float64)  # P001: per-iteration
+        scratch[:] = chunk
+        total += float(scratch.sum())
+    return total
+
+
+def grow_in_loop(rows):
+    out = np.zeros(0, dtype=np.float64)
+    for row in rows:
+        out = np.concatenate([out, row])          # P001: quadratic grow
+    return out
+
+
+def hoisted(chunks):
+    scratch = np.empty(16, dtype=np.float64)      # exempt: outside loop
+    total = 0.0
+    for chunk in chunks:
+        scratch[:] = chunk
+        total += float(scratch.sum())
+    return total
+
+
+def elementwise_loop(src: np.ndarray) -> np.ndarray:
+    dst = np.empty_like(src)
+    for i in range(len(src)):
+        dst[i] = src[i] * 2.0                     # P002: vectorizable
+    return dst
+
+
+def scan_loop(src: np.ndarray) -> np.ndarray:
+    out = np.empty_like(src)
+    out[0] = src[0]
+    for i in range(1, len(src)):
+        out[i] = out[i - 1] * 0.5 + src[i]        # exempt: recurrence
+    return out
+
+
+def direct_iteration(values: np.ndarray) -> float:
+    total = 0.0
+    for value in values:                          # P002: Python loop
+        total += float(value)
+    return total

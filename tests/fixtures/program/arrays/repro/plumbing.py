@@ -1,0 +1,11 @@
+"""Fixture cold module: Y/P habits that are exempt off the hot path."""
+
+import numpy as np
+
+
+def implicit_everywhere(n):
+    out = np.empty(n)                  # exempt: not a hot module
+    for i in range(n):
+        tmp = np.zeros(3)              # exempt: not a hot module
+        out[i] = tmp.sum() + i
+    return out

@@ -1,0 +1,46 @@
+"""Fixture module: S-series shape/axis contracts, TP and TN.
+
+Every allocation here declares its dtype (this module is hot too) so
+only the S rules fire.
+"""
+
+import numpy as np
+
+
+def blend(left: np.ndarray, right: np.ndarray) -> np.ndarray:
+    """Combines both params elementwise — the S001 contract source."""
+    return left + right
+
+
+def mismatched() -> np.ndarray:
+    a = np.zeros((4, 3), dtype=np.float64)
+    b = np.zeros((5,), dtype=np.float64)
+    return blend(a, b)                    # S001: (4,3) x (5,)
+
+
+def compatible() -> np.ndarray:
+    a = np.zeros((4, 3), dtype=np.float64)
+    b = np.zeros((3,), dtype=np.float64)
+    return blend(a, b)                    # exempt: broadcastable
+
+
+def consume(positions: np.ndarray) -> float:
+    return float(positions.sum())
+
+
+def sample_major() -> float:
+    poses = np.zeros((8, 100, 3), dtype=np.float64)
+    return consume(poses)                 # S002: (T, n, 3) crossing in
+
+
+def axis_major() -> float:
+    poses = np.zeros((8, 3, 100), dtype=np.float64)
+    return consume(poses)                 # exempt: (T, 3, n)
+
+
+def doubled_m(values_m: np.ndarray) -> np.ndarray:
+    return np.stack([values_m, values_m])  # S003: new shape, _m suffix
+
+
+def scaled_m(values_m: np.ndarray) -> np.ndarray:
+    return values_m * 2.0                  # exempt: shape-preserving

@@ -1,0 +1,5 @@
+"""Fixture copy of the kernel registry decorator."""
+
+
+def kernel(fn):
+    return fn

@@ -1,0 +1,54 @@
+"""Fixture kernels: K-series subset checks, TP and TN.
+
+Registering a kernel also makes this module hot, so allocations (none
+here) would need explicit dtypes too.
+"""
+
+import numpy as np
+
+from repro.determinism import kernel
+
+_WEIGHTS = [1.0, 2.0]
+
+
+@kernel
+def dict_kernel(x: np.ndarray) -> float:
+    table = {"scale": 2.0}                 # K001: dict in kernel
+    return float(x.sum() * table["scale"])
+
+
+def _lookup(flag: int) -> float:
+    marks = {1, 2, 3}                      # K001: set, reached from kernel
+    return 1.0 if flag in marks else 0.0
+
+
+@kernel
+def indirect_kernel(x: np.ndarray, flag: int) -> float:
+    return float(x.sum()) * _lookup(flag)
+
+
+@kernel
+def stateful_kernel(x: np.ndarray) -> float:
+    return float(x.sum()) * _WEIGHTS[0]    # K002: mutable module state
+
+
+@kernel
+def closure_kernel(x: np.ndarray) -> float:
+    def bump(v: float) -> float:           # K002: closure-captured def
+        return v + 1.0
+    return bump(float(x.sum()))
+
+
+@kernel
+def kwargs_kernel(x: np.ndarray, **opts) -> float:   # K003: **kwargs
+    return float(x.sum())
+
+
+def _scale(x: np.ndarray, factor: float) -> np.ndarray:
+    return x * factor
+
+
+@kernel
+def clean_kernel(x: np.ndarray, out: np.ndarray) -> np.ndarray:
+    out[:] = _scale(x, 2.0)                # exempt: subset-clean
+    return out

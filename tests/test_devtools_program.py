@@ -353,7 +353,9 @@ def test_list_rules_covers_all_families():
     assert proc.returncode == 0
     for rule_id in ("L001", "L002", "L003", "X001", "X002", "X003",
                     "T001", "T002", "T003", "C001", "C002", "C003",
-                    "C004", "W001", "W002", "W003"):
+                    "C004", "W001", "W002", "W003",
+                    "S001", "S002", "S003", "Y001", "Y002", "Y003",
+                    "P001", "P002", "K001", "K002", "K003"):
         assert rule_id in proc.stdout
 
 
@@ -425,6 +427,7 @@ def test_warm_cache_at_least_5x_faster(tmp_path):
     assert cold.extracted > 0
     cached = json.loads((cache / "program-index.json").read_text())
     assert cached.get("effects"), "effect summaries not persisted"
+    assert cached.get("arrays"), "array summaries not persisted"
 
     warm_s = float("inf")
     for _ in range(3):  # best-of-3 to shrug off scheduler noise
