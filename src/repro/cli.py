@@ -727,10 +727,41 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def main(argv=None) -> int:
-    """Entry point; returns a process exit code."""
+    """Entry point; returns a process exit code.
+
+    Every subcommand shares one exception→exit-code contract: 0 ok,
+    1 failed work (units, store, coverage), 2 bad configuration or
+    usage, 130/143 interrupted by SIGINT/SIGTERM (128+signum).
+    Subcommands may map their own exceptions first for a more
+    specific message; this ladder is the backstop that keeps an
+    escaping taxonomy exception from surfacing as a traceback.
+    """
+    from .galvo import CoverageError
+    from .orchestrator import (
+        ManifestError,
+        SweepConfigError,
+        SweepError,
+        SweepInterrupted,
+        UnitFailedError,
+    )
+    from .store import StoreError
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except SweepInterrupted as exc:
+        print(f"interrupted by signal {exc.signum}")
+        return exc.exit_code
+    except KeyboardInterrupt:
+        print("interrupted")
+        return 130
+    except (SweepConfigError, ManifestError) as exc:
+        print(str(exc))
+        return 2
+    except (UnitFailedError, SweepError, StoreError,
+            CoverageError) as exc:
+        print(str(exc))
+        return 1
 
 
 if __name__ == "__main__":

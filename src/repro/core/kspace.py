@@ -28,6 +28,7 @@ from .. import constants
 from ..galvo import GalvoHardware, GmaParams
 from ..geometry import Plane
 from .gma import GmaModel, board_hits
+from .pointing import PointingDivergedError
 
 #: By-eye spot-positioning accuracy on the grid board, one axis (m).
 EYE_NOISE_M = 0.7e-3
@@ -144,7 +145,7 @@ class BoardRig:
             limit = self.hardware.daq.voltage_range_v - 0.05
             v1 = float(np.clip(v1 + step[0], -limit, limit))
             v2 = float(np.clip(v2 + step[1], -limit, limit))
-        raise RuntimeError(
+        raise PointingDivergedError(
             f"could not steer the beam onto {target} "
             f"within {max_iterations} iterations")
 

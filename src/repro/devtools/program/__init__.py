@@ -43,13 +43,22 @@ families over it:
   ``@repro.determinism.kernel``-registered function and its
   transitive call closure (no object containers, no mutable module
   state, static signatures) — a static proof the kernel is ready for
-  a compiled (numba/CuPy) backend.
+  a compiled (numba/CuPy) backend;
+* **E/B/R-series** — error contracts over the interprocedural
+  exception-escape inference of :mod:`.exceptions`: escape-set
+  violations (unclassifiable worker exceptions, CLI subcommands with
+  no exit-code mapping, vague ``Exception``/``RuntimeError`` escapes
+  from layer APIs), swallow discipline (silent broad handlers, dead
+  taxonomy catches, shadowed clause ordering), and retry/cleanup
+  discipline (retry loops not covering callee escapes, uncleaned
+  resources on raise paths, ``sys.exit`` inside ``SignalGuard``
+  regions).
 
 Run it as ``python -m repro analyze``.  The index is cached on disk
 keyed by content hash (warm re-runs skip parsing entirely), the
-effect and array fixpoints are cached as separate tiers, and findings
-ratchet against a committed baseline file — new findings fail,
-pre-existing ones are frozen until burned down.
+effect, array, and exception fixpoints are cached as separate tiers,
+and findings ratchet against a committed baseline file — new findings
+fail, pre-existing ones are frozen until burned down.
 """
 
 from .analyzer import (
@@ -75,6 +84,14 @@ from .effects import (
     EffectTable,
     effect_table,
     effects_key,
+)
+from .exceptions import (
+    ExceptionSummary,
+    ExceptionTable,
+    TypeLattice,
+    exception_table,
+    exceptions_key,
+    type_lattice,
 )
 from .extract import extract_module, module_name_for
 from .index import (
@@ -110,6 +127,8 @@ __all__ = [
     "DEFAULT_CACHE_DIR",
     "EffectSummary",
     "EffectTable",
+    "ExceptionSummary",
+    "ExceptionTable",
     "FunctionInfo",
     "ImportedName",
     "ModuleInfo",
@@ -117,6 +136,7 @@ __all__ = [
     "ProgramRule",
     "ProjectIndex",
     "ResolvedCallee",
+    "TypeLattice",
     "ValueDesc",
     "all_program_rules",
     "analyze_paths",
@@ -125,6 +145,8 @@ __all__ = [
     "build_index",
     "effect_table",
     "effects_key",
+    "exception_table",
+    "exceptions_key",
     "extract_module",
     "hot_modules",
     "kernel_closure",
@@ -134,5 +156,6 @@ __all__ = [
     "register_program_rule",
     "resolve_program_selection",
     "run_program_rules",
+    "type_lattice",
     "write_baseline",
 ]

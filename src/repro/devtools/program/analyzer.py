@@ -28,6 +28,11 @@ from .effects import (
     attach_cached_table,
     serialized_table,
 )
+from .exceptions import (
+    EXCEPTIONS_SCHEMA_VERSION,
+    attach_cached_exception_table,
+    serialized_exception_table,
+)
 from .index import (
     DEFAULT_CACHE_DIR,
     ProjectIndex,
@@ -52,9 +57,9 @@ class AnalyzeResult(LintResult):
 
     ``profile`` holds per-rule-family wall time ("families": letter →
     seconds, empty when the results tier short-circuited the run) and
-    cache hit/miss counters ("cache": results/effects/arrays tier
-    state plus files reused vs. re-extracted) — what ``analyze
-    --profile`` renders.
+    cache hit/miss counters ("cache": results/effects/arrays/
+    exceptions tier state plus files reused vs. re-extracted) — what
+    ``analyze --profile`` renders.
     """
 
     from_cache: int = 0
@@ -142,7 +147,8 @@ def _run_key(shas: Dict[str, str],
                                                    ignore=ignore)]
     payload = json.dumps(
         [INDEX_SCHEMA_VERSION, EFFECTS_SCHEMA_VERSION,
-         ARRAYS_SCHEMA_VERSION, sorted(shas.items()), sorted(rules)],
+         ARRAYS_SCHEMA_VERSION, EXCEPTIONS_SCHEMA_VERSION,
+         sorted(shas.items()), sorted(rules)],
         sort_keys=True)
     return file_sha(payload)
 
@@ -172,7 +178,7 @@ def analyze_paths(paths: Sequence[str],
     payload: Dict[str, Any] = {}
     run_key = None
     cache_state = {"results": "miss", "effects": "miss",
-                   "arrays": "miss"}
+                   "arrays": "miss", "exceptions": "miss"}
     if cache_dir is not None:
         payload = load_cache(cache_dir)
         shas = {}
@@ -187,7 +193,7 @@ def analyze_paths(paths: Sequence[str],
                            message=f["message"])
                    for f in results.get("findings", [])]
             cache_state = {"results": "hit", "effects": "hit",
-                           "arrays": "hit"}
+                           "arrays": "hit", "exceptions": "hit"}
             return _finish(raw, baseline_path,
                            files_checked=int(results["files_checked"]),
                            suppressed=int(results["suppressed"]),
@@ -199,14 +205,18 @@ def analyze_paths(paths: Sequence[str],
                         cached_payload=payload if cache_dir else None,
                         save=False)
     if cache_dir is not None:
-        # Third and fourth cache tiers: reuse the effect-inference and
-        # array-semantics fixpoints when every input file is unchanged
-        # (e.g. a warm run with a different --select missed the
-        # results tier but can still skip re-deriving the summaries).
+        # Third through fifth cache tiers: reuse the effect-inference,
+        # array-semantics, and exception-escape fixpoints when every
+        # input file is unchanged (e.g. a warm run with a different
+        # --select missed the results tier but can still skip
+        # re-deriving the summaries).
         if attach_cached_table(index, payload.get("effects", {})):
             cache_state["effects"] = "hit"
         if attach_cached_array_table(index, payload.get("arrays", {})):
             cache_state["arrays"] = "hit"
+        if attach_cached_exception_table(index,
+                                         payload.get("exceptions", {})):
+            cache_state["exceptions"] = "hit"
     timings: Dict[str, float] = {}
     raw, suppressed = run_program_rules(index, select=select,
                                         ignore=ignore, timings=timings)
@@ -222,6 +232,8 @@ def analyze_paths(paths: Sequence[str],
         files.update(index.cache_entries)
         effects = serialized_table(index) or payload.get("effects")
         arrays = serialized_array_table(index) or payload.get("arrays")
+        exceptions = serialized_exception_table(index) \
+            or payload.get("exceptions")
         next_payload: Dict[str, Any] = {
             "files": files,
             "results": {
@@ -235,6 +247,8 @@ def analyze_paths(paths: Sequence[str],
             next_payload["effects"] = effects
         if arrays is not None:
             next_payload["arrays"] = arrays
+        if exceptions is not None:
+            next_payload["exceptions"] = exceptions
         save_cache(cache_dir, next_payload)
 
     return _finish(raw, baseline_path, files_checked=files_checked,
@@ -254,6 +268,7 @@ def _profile(timings: Dict[str, float], cache_state: Dict[str, str],
             "results": cache_state["results"],
             "effects": cache_state["effects"],
             "arrays": cache_state["arrays"],
+            "exceptions": cache_state["exceptions"],
             "files_cached": files_cached,
             "files_extracted": files_extracted,
         },

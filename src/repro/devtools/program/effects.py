@@ -43,6 +43,7 @@ from typing import (
 from .index import ProjectIndex, file_sha
 from .model import (
     INDEX_SCHEMA_VERSION,
+    RESOURCE_PRODUCERS,
     CallSite,
     FunctionInfo,
     ModuleInfo,
@@ -51,17 +52,6 @@ from .model import (
 
 #: Bump when the summary shape or inference semantics change.
 EFFECTS_SCHEMA_VERSION = 1
-
-#: Callee leaves that hand back a fork-unsafe resource when bound.
-RESOURCE_PRODUCERS: Mapping[str, str] = {
-    "open": "open file handle",
-    "memmap": "memmap",
-    "open_memmap": "memmap",
-    "SharedMemory": "SharedMemory segment",
-    "NamedTemporaryFile": "open file handle",
-    "TemporaryFile": "open file handle",
-    "Pipe": "pipe",
-}
 
 #: Callee leaves that push work onto worker processes.
 SPAWN_LEAVES = frozenset({

@@ -16,14 +16,20 @@ from typing import Dict, List, Optional, Sequence, Set, Tuple
 from ..context import package_parts, parse_noqa
 from ..visitors import dotted_name, parameter_nodes, unit_suffix
 from .model import (
+    RESOURCE_PRODUCERS,
     ArrayOp,
+    CallGuard,
     CallSite,
     ClassInfo,
     FunctionInfo,
+    HandlerSpec,
     ImportedName,
     IndexWrite,
     ModuleInfo,
     ParamInfo,
+    RaiseFact,
+    ResourceFact,
+    TryFact,
     ValueDesc,
 )
 
@@ -750,6 +756,238 @@ def _array_facts(node: ast.AST) -> Tuple[ArrayOp, ...]:
     return tuple(collector.ops)
 
 
+# -- exception-flow facts ----------------------------------------------------
+
+#: ``try`` statement classes (``try*`` joined the AST in 3.11).
+_TRY_NODES: Tuple[type, ...] = tuple(
+    cls for cls in (getattr(ast, "Try", None),
+                    getattr(ast, "TryStar", None)) if cls is not None)
+
+
+def _walk_skipping_defs(nodes: Sequence[ast.AST]):
+    """Depth-first walk that never descends into nested defs/lambdas."""
+    stack = list(nodes)
+    while stack:
+        node = stack.pop()
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                             ast.ClassDef, ast.Lambda)):
+            continue
+        yield node
+        stack.extend(ast.iter_child_nodes(node))
+
+
+class _ExceptionFactsCollector:
+    """Collect raise/handler/cleanup facts for one def body.
+
+    Nested defs and classes are skipped (they collect their own
+    facts).  The guard stack tracks which enclosing ``try`` statements
+    would intercept an exception at the current position: pushed for a
+    try *body* only — handler bodies, ``else`` and ``finally`` blocks
+    are not protected by their own handlers, matching Python
+    semantics.  A ``with SignalGuard()`` region raises the signal
+    depth, marking calls whose ``sys.exit`` would bypass the deferred
+    checkpoint-exit protocol.
+    """
+
+    def __init__(self) -> None:
+        self.tries: List[TryFact] = []
+        self.raises: List[RaiseFact] = []
+        self.calls: List[CallGuard] = []
+        self.resources: List[ResourceFact] = []
+        self.returned: Set[str] = set()
+        self._stack: List[int] = []     # try indices, outermost first
+        self._loops = 0
+        self._signal = 0
+
+    def walk(self, stmts: Sequence[ast.stmt]) -> None:
+        for stmt in stmts:
+            self._statement(stmt)
+
+    def _guards(self) -> Tuple[int, ...]:
+        return tuple(reversed(self._stack))
+
+    def _statement(self, stmt: ast.stmt) -> None:
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef,
+                             ast.ClassDef)):
+            return
+        if isinstance(stmt, _TRY_NODES):
+            self._try(stmt)
+            return
+        if isinstance(stmt, ast.Raise):
+            self._raise(stmt)
+            return
+        if isinstance(stmt, (ast.With, ast.AsyncWith)):
+            self._with(stmt)
+            return
+        if isinstance(stmt, (ast.For, ast.AsyncFor, ast.While)):
+            for expr in _own_expressions(stmt):
+                self._calls_in(expr)
+            self._loops += 1
+            self.walk(stmt.body)
+            self.walk(stmt.orelse)
+            self._loops -= 1
+            return
+        if isinstance(stmt, ast.Return):
+            if stmt.value is not None:
+                names, _ = _free_names(stmt.value)
+                self.returned |= names
+                self._calls_in(stmt.value)
+            return
+        if isinstance(stmt, (ast.Assign, ast.AnnAssign)):
+            self._assign(stmt)
+            return
+        for expr in _own_expressions(stmt):
+            self._calls_in(expr)
+        for block in _nested_bodies(stmt):
+            self.walk(block)
+
+    def _try(self, stmt: ast.stmt) -> None:
+        index = len(self.tries)
+        handlers = tuple(self._handler(h)
+                         for h in getattr(stmt, "handlers", []))
+        self.tries.append(TryFact(
+            lineno=stmt.lineno, col=stmt.col_offset,
+            handlers=handlers,
+            has_finally=bool(getattr(stmt, "finalbody", [])),
+            in_loop=self._loops > 0, guards=self._guards()))
+        if handlers:
+            self._stack.append(index)
+            self.walk(stmt.body)
+            self._stack.pop()
+        else:
+            self.walk(stmt.body)
+        # else runs after the body completed; finally and handler
+        # bodies raise past this try's own handlers.
+        self.walk(getattr(stmt, "orelse", []))
+        for handler in getattr(stmt, "handlers", []):
+            self.walk(handler.body)
+        self.walk(getattr(stmt, "finalbody", []))
+
+    def _handler(self, handler: ast.ExceptHandler) -> HandlerSpec:
+        types: Tuple[str, ...] = ()
+        if handler.type is not None:
+            if isinstance(handler.type, ast.Tuple):
+                types = tuple(t for t in (dotted_name(e) for e
+                                          in handler.type.elts)
+                              if t is not None)
+            else:
+                dotted = dotted_name(handler.type)
+                types = (dotted,) if dotted is not None else ()
+        action, target = self._handler_action(handler)
+        uses_exc = False
+        if handler.name:
+            uses_exc = any(
+                isinstance(node, ast.Name) and node.id == handler.name
+                and isinstance(node.ctx, ast.Load)
+                for node in _walk_skipping_defs(handler.body))
+        return HandlerSpec(types=types, action=action, target=target,
+                           uses_exc=uses_exc, lineno=handler.lineno,
+                           col=handler.col_offset)
+
+    @staticmethod
+    def _handler_action(
+            handler: ast.ExceptHandler) -> Tuple[str, str]:
+        """(action, target) of a handler body — see HandlerSpec."""
+        first: Optional[Tuple[str, str]] = None
+        for node in _walk_skipping_defs(handler.body):
+            if not isinstance(node, ast.Raise):
+                continue
+            if node.exc is None:
+                return "reraise", ""
+            target = node.exc.func if isinstance(node.exc, ast.Call) \
+                else node.exc
+            token = dotted_name(target) or ""
+            chained = isinstance(node.cause, ast.Name) and \
+                handler.name is not None and \
+                node.cause.id == handler.name
+            if chained:
+                return "translate", token
+            if first is None:
+                first = ("raise", token)
+        return first if first is not None else ("swallow", "")
+
+    def _raise(self, stmt: ast.Raise) -> None:
+        token = ""
+        if stmt.exc is not None:
+            target = stmt.exc.func if isinstance(stmt.exc, ast.Call) \
+                else stmt.exc
+            token = dotted_name(target) or ""
+            self._calls_in(stmt.exc)
+        from_name = stmt.cause.id \
+            if isinstance(stmt.cause, ast.Name) else ""
+        self.raises.append(RaiseFact(
+            type_token=token, lineno=stmt.lineno, col=stmt.col_offset,
+            guards=self._guards(), from_name=from_name))
+
+    def _with(self, stmt: ast.stmt) -> None:
+        assert isinstance(stmt, (ast.With, ast.AsyncWith))
+        signal = False
+        for item in stmt.items:
+            expr = item.context_expr
+            self._calls_in(expr)
+            if not isinstance(expr, ast.Call):
+                continue
+            leaf = _leaf(dotted_name(expr.func) or "")
+            if leaf == "SignalGuard":
+                signal = True
+            if leaf in RESOURCE_PRODUCERS and \
+                    isinstance(item.optional_vars, ast.Name):
+                self.resources.append(ResourceFact(
+                    name=item.optional_vars.id,
+                    kind=RESOURCE_PRODUCERS[leaf],
+                    lineno=expr.lineno, col=expr.col_offset,
+                    via_with=True))
+        if signal:
+            self._signal += 1
+        self.walk(stmt.body)
+        if signal:
+            self._signal -= 1
+
+    def _assign(self, stmt: ast.stmt) -> None:
+        assert isinstance(stmt, (ast.Assign, ast.AnnAssign))
+        value = stmt.value
+        if value is None:
+            return
+        self._calls_in(value)
+        target: Optional[ast.expr] = None
+        if isinstance(stmt, ast.Assign) and len(stmt.targets) == 1:
+            target = stmt.targets[0]
+        elif isinstance(stmt, ast.AnnAssign):
+            target = stmt.target
+        if isinstance(target, ast.Name) and isinstance(value, ast.Call):
+            leaf = _leaf(dotted_name(value.func) or "")
+            if leaf in RESOURCE_PRODUCERS:
+                self.resources.append(ResourceFact(
+                    name=target.id, kind=RESOURCE_PRODUCERS[leaf],
+                    lineno=value.lineno, col=value.col_offset,
+                    via_with=False))
+
+    def _calls_in(self, expr: ast.expr) -> None:
+        for node in _walk_skipping_defs([expr]):
+            if isinstance(node, ast.Call):
+                dotted = dotted_name(node.func)
+                if dotted is not None:
+                    self.calls.append(CallGuard(
+                        func=dotted, lineno=node.lineno,
+                        col=node.col_offset, guards=self._guards(),
+                        in_signal_guard=self._signal > 0))
+
+
+def _exception_facts(node: ast.AST) -> Tuple[
+        Tuple[TryFact, ...], Tuple[RaiseFact, ...],
+        Tuple[CallGuard, ...], Tuple[ResourceFact, ...],
+        Tuple[str, ...]]:
+    """The exception-flow facts of one def body (nested defs skip)."""
+    assert isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+    collector = _ExceptionFactsCollector()
+    collector.walk(node.body)
+    return (tuple(collector.tries), tuple(collector.raises),
+            tuple(sorted(collector.calls,
+                         key=lambda c: (c.lineno, c.col, c.func))),
+            tuple(collector.resources),
+            tuple(sorted(collector.returned)))
+
+
 def _decorator_names(node: ast.AST) -> Tuple[str, ...]:
     """Dotted decorator names (the callee for decorator factories)."""
     assert isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
@@ -915,6 +1153,8 @@ class _ModuleExtractor:
                        or (p.annotation and "Generator" in p.annotation)}
         global_writes, reads, index_writes = _function_facts(
             node, self.module_names)
+        try_facts, raise_facts, call_guards, resource_facts, \
+            returned_names = _exception_facts(node)
         self.functions[qualname] = FunctionInfo(
             qualname=qualname, lineno=node.lineno,
             params=tuple(params), is_method=in_class,
@@ -924,7 +1164,10 @@ class _ModuleExtractor:
             array_ops=_array_facts(node),
             decorators=_decorator_names(node),
             has_varargs=node.args.vararg is not None,
-            has_kwargs=node.args.kwarg is not None)
+            has_kwargs=node.args.kwarg is not None,
+            try_facts=try_facts, raise_facts=raise_facts,
+            call_guards=call_guards, resource_facts=resource_facts,
+            returned_names=returned_names)
         if not self._scope:
             self.bindings.setdefault(
                 node.name, f"{self.module}.{node.name}")
@@ -960,7 +1203,11 @@ class _ModuleExtractor:
             global_writes=info.global_writes, reads=info.reads,
             index_writes=info.index_writes,
             array_ops=info.array_ops, decorators=info.decorators,
-            has_varargs=info.has_varargs, has_kwargs=info.has_kwargs)
+            has_varargs=info.has_varargs, has_kwargs=info.has_kwargs,
+            try_facts=info.try_facts, raise_facts=info.raise_facts,
+            call_guards=info.call_guards,
+            resource_facts=info.resource_facts,
+            returned_names=info.returned_names)
 
     def _class(self, node: ast.ClassDef) -> None:
         qualname = ".".join(self._scope + [node.name])
@@ -972,9 +1219,13 @@ class _ModuleExtractor:
         if not self._scope:
             self.bindings.setdefault(
                 node.name, f"{self.module}.{node.name}")
+        bases = tuple(b for b in (dotted_name(base)
+                                  for base in node.bases)
+                      if b is not None)
         # Register before walking so methods see themselves as such.
         self.classes[qualname] = ClassInfo(
-            name=qualname, lineno=node.lineno, is_dataclass=is_dataclass)
+            name=qualname, lineno=node.lineno, is_dataclass=is_dataclass,
+            bases=bases)
         fields: List[ParamInfo] = []
         for stmt in node.body:
             if is_dataclass and isinstance(stmt, ast.AnnAssign) and \
@@ -998,7 +1249,7 @@ class _ModuleExtractor:
         self.classes[qualname] = ClassInfo(
             name=qualname, lineno=node.lineno,
             is_dataclass=is_dataclass, fields=tuple(fields),
-            methods=methods)
+            methods=methods, bases=bases)
 
     # -- expressions & assignments -------------------------------------------
 

@@ -14,7 +14,21 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, FrozenSet, Mapping, Optional, Tuple
 
 #: Bump when the extracted shape changes; stale caches are discarded.
-INDEX_SCHEMA_VERSION = 3
+INDEX_SCHEMA_VERSION = 4
+
+#: Callee leaves that hand back a fork-unsafe resource when bound.
+#: Shared by the effect inference (fork safety) and the exception
+#: extractor (cleanup discipline); lives here because both the
+#: extractor and the inference layers need it without a cycle.
+RESOURCE_PRODUCERS: Mapping[str, str] = {
+    "open": "open file handle",
+    "memmap": "memmap",
+    "open_memmap": "memmap",
+    "SharedMemory": "SharedMemory segment",
+    "NamedTemporaryFile": "open file handle",
+    "TemporaryFile": "open file handle",
+    "Pipe": "pipe",
+}
 
 
 @dataclass(frozen=True)
@@ -223,6 +237,171 @@ class ArrayOp:
 
 
 @dataclass(frozen=True)
+class HandlerSpec:
+    """One ``except`` clause: what it catches and what it does.
+
+    ``types`` are the caught type tokens (empty for a bare ``except``,
+    which catches ``BaseException``).  ``action`` classifies the body:
+    ``"reraise"`` (a bare ``raise``), ``"translate"`` (``raise X(...)
+    from exc`` where ``exc`` is the bound name), ``"raise"`` (a new
+    exception raised without chaining), or ``"swallow"`` (no raise at
+    all — the handler absorbs the exception).  ``target`` is the raised
+    type token for translate/raise.  ``uses_exc`` records whether the
+    bound exception variable is loaded anywhere in the body — a handler
+    that logs, records, or inspects the exception is handling it, not
+    dropping it on the floor.
+    """
+
+    types: Tuple[str, ...] = ()
+    action: str = "swallow"
+    target: str = ""
+    uses_exc: bool = False
+    lineno: int = 0
+    col: int = 0
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "types": list(self.types), "action": self.action,
+            "target": self.target, "uses_exc": self.uses_exc,
+            "lineno": self.lineno, "col": self.col,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "HandlerSpec":
+        return cls(types=tuple(payload["types"]),
+                   action=payload["action"], target=payload["target"],
+                   uses_exc=payload["uses_exc"],
+                   lineno=payload["lineno"], col=payload["col"])
+
+
+@dataclass(frozen=True)
+class TryFact:
+    """One ``try`` statement inside a function body.
+
+    ``guards`` are the indices (into the same function's ``try_facts``)
+    of the *enclosing* try statements whose handlers would intercept an
+    exception escaping this one, innermost first.  ``in_loop`` marks a
+    try nested under a ``for``/``while`` — the retry-discipline shape.
+    """
+
+    lineno: int
+    col: int
+    handlers: Tuple[HandlerSpec, ...] = ()
+    has_finally: bool = False
+    in_loop: bool = False
+    guards: Tuple[int, ...] = ()
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "lineno": self.lineno, "col": self.col,
+            "handlers": [h.to_dict() for h in self.handlers],
+            "has_finally": self.has_finally, "in_loop": self.in_loop,
+            "guards": list(self.guards),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "TryFact":
+        return cls(lineno=payload["lineno"], col=payload["col"],
+                   handlers=tuple(HandlerSpec.from_dict(h)
+                                  for h in payload["handlers"]),
+                   has_finally=payload["has_finally"],
+                   in_loop=payload["in_loop"],
+                   guards=tuple(payload["guards"]))
+
+
+@dataclass(frozen=True)
+class RaiseFact:
+    """One ``raise`` statement (outside handler bodies).
+
+    ``type_token`` is the dotted name of the raised type ("" for a bare
+    re-raise), ``from_name`` the chained cause variable of ``raise X
+    from e``, and ``guards`` the enclosing try indices whose handlers
+    would intercept it, innermost first.
+    """
+
+    type_token: str
+    lineno: int
+    col: int
+    guards: Tuple[int, ...] = ()
+    from_name: str = ""
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "type_token": self.type_token, "lineno": self.lineno,
+            "col": self.col, "guards": list(self.guards),
+            "from_name": self.from_name,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "RaiseFact":
+        return cls(type_token=payload["type_token"],
+                   lineno=payload["lineno"], col=payload["col"],
+                   guards=tuple(payload["guards"]),
+                   from_name=payload["from_name"])
+
+
+@dataclass(frozen=True)
+class CallGuard:
+    """One call site with its exception-handling context.
+
+    The per-call-site ``guards`` (enclosing try indices, innermost
+    first) are what lets the escape-set fixpoint subtract caught types
+    exactly where a callee is invoked.  ``in_signal_guard`` marks calls
+    made inside a ``with SignalGuard()`` region, where a direct
+    ``sys.exit`` would bypass the deferred-signal protocol.
+    """
+
+    func: str
+    lineno: int
+    col: int
+    guards: Tuple[int, ...] = ()
+    in_signal_guard: bool = False
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "func": self.func, "lineno": self.lineno, "col": self.col,
+            "guards": list(self.guards),
+            "in_signal_guard": self.in_signal_guard,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "CallGuard":
+        return cls(func=payload["func"], lineno=payload["lineno"],
+                   col=payload["col"], guards=tuple(payload["guards"]),
+                   in_signal_guard=payload["in_signal_guard"])
+
+
+@dataclass(frozen=True)
+class ResourceFact:
+    """One resource acquisition bound to a local name.
+
+    ``via_with`` marks ``with open(...) as fh`` bindings — already
+    cleanup-scoped.  A plain assignment from a resource producer with a
+    raise path after it and no ``finally`` anywhere is the R002 leak
+    shape.
+    """
+
+    name: str
+    kind: str
+    lineno: int
+    col: int
+    via_with: bool = False
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "name": self.name, "kind": self.kind,
+            "lineno": self.lineno, "col": self.col,
+            "via_with": self.via_with,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "ResourceFact":
+        return cls(name=payload["name"], kind=payload["kind"],
+                   lineno=payload["lineno"], col=payload["col"],
+                   via_with=payload["via_with"])
+
+
+@dataclass(frozen=True)
 class ParamInfo:
     """One declared parameter (or dataclass field)."""
 
@@ -267,6 +446,12 @@ class FunctionInfo:
     names (how ``@repro.determinism.kernel`` registration is seen
     statically), and ``has_varargs`` / ``has_kwargs`` record ``*args``
     / ``**kwargs`` in the signature (forbidden in the kernel subset).
+
+    ``try_facts`` / ``raise_facts`` / ``call_guards`` /
+    ``resource_facts`` are the raw exception-flow facts (nested defs
+    excluded) the escape-set inference consumes; ``returned_names``
+    lists plain names appearing in return expressions (ownership
+    transfer exempts a resource from the leak rule).
     """
 
     qualname: str
@@ -282,6 +467,11 @@ class FunctionInfo:
     decorators: Tuple[str, ...] = ()
     has_varargs: bool = False
     has_kwargs: bool = False
+    try_facts: Tuple[TryFact, ...] = ()
+    raise_facts: Tuple[RaiseFact, ...] = ()
+    call_guards: Tuple[CallGuard, ...] = ()
+    resource_facts: Tuple[ResourceFact, ...] = ()
+    returned_names: Tuple[str, ...] = ()
 
     def param(self, name: str) -> Optional[ParamInfo]:
         for info in self.params:
@@ -303,6 +493,12 @@ class FunctionInfo:
             "decorators": list(self.decorators),
             "has_varargs": self.has_varargs,
             "has_kwargs": self.has_kwargs,
+            "try_facts": [t.to_dict() for t in self.try_facts],
+            "raise_facts": [r.to_dict() for r in self.raise_facts],
+            "call_guards": [c.to_dict() for c in self.call_guards],
+            "resource_facts": [r.to_dict()
+                               for r in self.resource_facts],
+            "returned_names": list(self.returned_names),
         }
 
     @classmethod
@@ -322,7 +518,16 @@ class FunctionInfo:
                             for op in payload["array_ops"]),
             decorators=tuple(payload["decorators"]),
             has_varargs=payload["has_varargs"],
-            has_kwargs=payload["has_kwargs"])
+            has_kwargs=payload["has_kwargs"],
+            try_facts=tuple(TryFact.from_dict(t)
+                            for t in payload["try_facts"]),
+            raise_facts=tuple(RaiseFact.from_dict(r)
+                              for r in payload["raise_facts"]),
+            call_guards=tuple(CallGuard.from_dict(c)
+                              for c in payload["call_guards"]),
+            resource_facts=tuple(ResourceFact.from_dict(r)
+                                 for r in payload["resource_facts"]),
+            returned_names=tuple(payload["returned_names"]))
 
 
 @dataclass(frozen=True)
@@ -331,7 +536,9 @@ class ClassInfo:
 
     ``fields`` holds the synthesized constructor parameters — dataclass
     fields in declaration order when ``is_dataclass``, else the
-    ``__init__`` parameters.
+    ``__init__`` parameters.  ``bases`` are the dotted base-class
+    names as written — what the exception type lattice resolves to
+    decide subtype relations between taxonomy errors.
     """
 
     name: str
@@ -339,6 +546,7 @@ class ClassInfo:
     is_dataclass: bool = False
     fields: Tuple[ParamInfo, ...] = ()
     methods: Tuple[str, ...] = ()
+    bases: Tuple[str, ...] = ()
 
     def to_dict(self) -> Dict[str, Any]:
         return {
@@ -346,6 +554,7 @@ class ClassInfo:
             "is_dataclass": self.is_dataclass,
             "fields": [f.to_dict() for f in self.fields],
             "methods": list(self.methods),
+            "bases": list(self.bases),
         }
 
     @classmethod
@@ -355,7 +564,8 @@ class ClassInfo:
             is_dataclass=payload["is_dataclass"],
             fields=tuple(ParamInfo.from_dict(f)
                          for f in payload["fields"]),
-            methods=tuple(payload["methods"]))
+            methods=tuple(payload["methods"]),
+            bases=tuple(payload["bases"]))
 
 
 @dataclass(frozen=True)

@@ -58,6 +58,7 @@ def _load_program_rules() -> None:
         rules_concurrency,
         rules_crashsafety,
         rules_dtypes,
+        rules_exceptions,
         rules_kernels,
         rules_layering,
         rules_rngflow,

@@ -366,7 +366,9 @@ def _fill_pooled(fn: Callable, items: Sequence,
             try:
                 block.close()
                 block.unlink()
-            except Exception:  # pragma: no cover - cleanup best-effort
+            except OSError:
+                # Already closed/unlinked (a crashed worker's atexit
+                # hooks race this cleanup); nothing left to release.
                 pass
 
 
@@ -403,7 +405,9 @@ def _pending_call_child(conn, fn: Callable, arg: object) -> None:
             except Exception as exc:
                 conn.send(("error",
                            f"result not transportable: {exc}"))
-    except Exception:  # pragma: no cover - pipe already gone
+    except (BrokenPipeError, OSError):
+        # The parent died or closed its end; there is nobody left to
+        # report to, so the child just exits.
         pass
     finally:
         conn.close()

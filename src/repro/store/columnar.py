@@ -244,6 +244,8 @@ class ColumnStore:
         _check_name("group", name)
         if not columns:
             raise ValueError("a group needs at least one column")
+        for column in columns.keys():
+            _check_name("column", column)
         rows = _common_rows(columns)
         tmp = self.root / f".{name}.tmp"
         if tmp.exists():
@@ -251,7 +253,6 @@ class ColumnStore:
         tmp.mkdir(parents=True)
         try:
             for column, array in columns.items():
-                _check_name("column", column)
                 np.save(tmp / f"{column}.npy",
                         np.ascontiguousarray(array))
             _write_meta(tmp, rows, columns, attrs or {})
@@ -260,6 +261,10 @@ class ColumnStore:
             if final.exists():
                 shutil.rmtree(final)
             os.replace(tmp, final)
+        except OSError as exc:
+            shutil.rmtree(tmp, ignore_errors=True)
+            raise StoreError(
+                f"could not publish group {name!r}: {exc}") from exc
         except Exception:
             shutil.rmtree(tmp, ignore_errors=True)
             raise

@@ -1,0 +1,7 @@
+"""Exception-flow fixture: a repro-shaped tree with E/B/R bugs.
+
+Every true positive sits next to a safe twin exercising the same
+shape (translated, logged, narrowest-first, `with`-scoped, exit code
+returned out of the region) so the tests pin the finding counts
+exactly.
+"""

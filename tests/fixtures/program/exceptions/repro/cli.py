@@ -1,0 +1,34 @@
+"""CLI stand-in: subcommand escapes must map to exit codes."""
+
+from .errors import SweepConfigError, SweepError
+from .store import load_rows, read_group
+
+
+def _cmd_run(args):
+    # Safe twin: main() maps SweepError, which covers the
+    # SweepConfigError this can escape.
+    rows = load_rows(args)
+    return 0 if rows else 1
+
+
+def _cmd_report(args):
+    # E002: read_group can escape StoreError and main() has no exit
+    # code for it.
+    rows = read_group(args)
+    return 0 if rows else 1
+
+
+def _dispatch(args):
+    if args and args[0] == "report":
+        return _cmd_report(args)
+    return _cmd_run(args)
+
+
+def main(argv=None):
+    args = argv or []
+    try:
+        return _dispatch(args)
+    except SweepConfigError:
+        return 2
+    except SweepError:
+        return 1

@@ -1,0 +1,1 @@
+"""Core layer of the fixture tree."""

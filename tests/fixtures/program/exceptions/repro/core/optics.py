@@ -1,0 +1,28 @@
+"""Core-layer API: failures must carry a taxonomy name."""
+
+
+class FocusDivergedError(RuntimeError):
+    """The focus search left the lens's travel range."""
+
+
+def align_beam(offset_m, max_steps=10):
+    # E003: a public core function escaping bare RuntimeError.
+    for _ in range(max_steps):
+        if offset_m < 1e-6:
+            return offset_m
+        offset_m = offset_m / 2.0
+    raise RuntimeError("alignment did not converge")
+
+
+def focus_beam(offset_m, max_steps=10):
+    # Safe twin: the escape is a taxonomy type callers can catch.
+    for _ in range(max_steps):
+        if offset_m < 1e-6:
+            return offset_m
+        offset_m = offset_m / 2.0
+    raise FocusDivergedError("focus did not converge")
+
+
+def _nudge(offset_m):
+    # Private helpers may fail with whatever is handy.
+    raise RuntimeError("internal nudge failure")

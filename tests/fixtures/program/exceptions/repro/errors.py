@@ -1,0 +1,13 @@
+"""Taxonomy stand-in: the types the E/B/R rules reason about."""
+
+
+class SweepError(RuntimeError):
+    """Any sweep-level failure."""
+
+
+class SweepConfigError(SweepError):
+    """The sweep specification is unusable."""
+
+
+class StoreError(RuntimeError):
+    """On-disk column state is torn or corrupt."""

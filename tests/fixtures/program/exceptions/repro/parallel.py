@@ -1,0 +1,5 @@
+"""parallel_map stand-in (pool sites are matched by leaf name)."""
+
+
+def parallel_map(fn, items, workers=4):
+    return [fn(item) for item in items]

@@ -1,0 +1,54 @@
+"""SignalGuard stand-in plus guarded regions."""
+
+import sys
+
+
+class SignalGuard:
+    """Defers SIGINT/SIGTERM until the guarded region exits."""
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        return False
+
+    def check(self):
+        return None
+
+
+def bail_out(code):
+    # A callee that exits the process directly.
+    sys.exit(code)
+
+
+def run_guarded(units):
+    # R003: sys.exit inside the guard bypasses deferred delivery.
+    done = []
+    with SignalGuard() as guard:
+        for unit in units:
+            if unit is None:
+                sys.exit(3)
+            done.append(unit)
+        guard.check()
+    return done
+
+
+def run_guarded_helper(units):
+    # R003 (transitive): bail_out raises SystemExit inside the guard.
+    with SignalGuard():
+        if not units:
+            bail_out(2)
+    return len(units)
+
+
+def run_guarded_safe(units):
+    # Safe twin: the region computes a code; the exit happens after
+    # the guard has released the deferred signals.
+    code = 0
+    with SignalGuard():
+        for unit in units:
+            if unit is None:
+                code = 3
+    if code:
+        sys.exit(code)
+    return code

@@ -1,0 +1,150 @@
+"""Store helpers: swallow, dead-catch, retry, and cleanup cases."""
+
+import json
+
+from .errors import StoreError, SweepConfigError
+
+
+def load_rows(args):
+    # Callee for the safe CLI twin: a config escape main() maps.
+    if not args:
+        raise SweepConfigError("no sweep arguments")
+    return list(args)
+
+
+def read_group(args):
+    # Callee for the E002 case: a store escape main() does not map.
+    if not args:
+        raise StoreError("group directory is torn")
+    return list(args)
+
+
+def flaky_load(path):
+    # Retry callee: a transient OSError plus a taxonomy escape.
+    if not path:
+        raise StoreError("manifest checksum mismatch")
+    if path == "-":
+        raise OSError("transient read failure")
+    return path
+
+
+def parse_payload(payload):
+    if not payload:
+        raise ValueError("empty payload")
+    return dict(payload)
+
+
+def sweep_quietly(units):
+    # B001: the broad handler erases the failure entirely.
+    done = []
+    for unit in units:
+        try:
+            done.append(read_group(unit))
+        except Exception:
+            pass
+    return done
+
+
+def sweep_recorded(units, log):
+    # Safe twin: the caught exception is recorded before moving on.
+    done = []
+    for unit in units:
+        try:
+            done.append(read_group(unit))
+        except Exception as exc:
+            log.append(str(exc))
+    return done
+
+
+def sweep_translated(units):
+    # Safe twin: the broad catch translates to a taxonomy type.
+    done = []
+    for unit in units:
+        try:
+            done.append(read_group(unit))
+        except Exception as exc:
+            raise StoreError("sweep unit failed") from exc
+    return done
+
+
+def guarded_parse(payload):
+    # B002: parse_payload can only raise ValueError; the StoreError
+    # catch is dead.
+    try:
+        return parse_payload(payload)
+    except StoreError:
+        return None
+
+
+def guarded_read(path):
+    # Safe twin: read_group really can raise StoreError.
+    try:
+        return read_group(path)
+    except StoreError:
+        return None
+
+
+def classify_failure(path):
+    # B003: the broad RuntimeError clause shadows the StoreError one.
+    try:
+        return read_group(path)
+    except RuntimeError as exc:
+        return ("runtime", str(exc))
+    except StoreError as exc:
+        return ("store", str(exc))
+
+
+def classify_failure_ordered(path):
+    # Safe twin: narrowest first.
+    try:
+        return read_group(path)
+    except StoreError as exc:
+        return ("store", str(exc))
+    except RuntimeError as exc:
+        return ("runtime", str(exc))
+
+
+def retry_until_loaded(path, attempts=3):
+    # R001: the retry loop only catches the transient OSError; the
+    # StoreError escape aborts the whole ladder on attempt one.
+    for _ in range(attempts):
+        try:
+            return flaky_load(path)
+        except OSError:
+            continue
+    return None
+
+
+def retry_with_taxonomy(path, attempts=3):
+    # Safe twin: the callee's full escape set is caught.
+    for _ in range(attempts):
+        try:
+            return flaky_load(path)
+        except (OSError, StoreError):
+            continue
+    return None
+
+
+def spool_rows(path, rows):
+    # R002: the handle leaks if the empty-rows raise fires.
+    fh = open(path, "w")
+    if not rows:
+        raise ValueError("no rows to spool")
+    json.dump(rows, fh)
+    fh.close()
+    return len(rows)
+
+
+def spool_rows_scoped(path, rows):
+    # Safe twin: `with` closes the handle on the raise path too.
+    with open(path, "w") as fh:
+        if not rows:
+            raise ValueError("no rows to spool")
+        json.dump(rows, fh)
+    return len(rows)
+
+
+def open_spool(path):
+    # Factory twin: returning the handle hands cleanup to the caller.
+    fh = open(path, "w")
+    return fh

@@ -1,0 +1,27 @@
+"""Pool workers: one bails out of the process, its twin raises."""
+
+import sys
+
+from .errors import StoreError
+from .parallel import parallel_map
+
+
+def fatal_worker(row):
+    # E001: sys.exit inside a worker kills the child outside the
+    # pool's infra-vs-fn failure classification.
+    if row is None:
+        sys.exit(2)
+    return row * 2
+
+
+def safe_worker(row):
+    # Safe twin: a taxonomy exception the parent can classify.
+    if row is None:
+        raise StoreError("row missing from the spool")
+    return row * 2
+
+
+def run_pool(rows):
+    bad = parallel_map(fatal_worker, rows)
+    good = parallel_map(safe_worker, rows)
+    return bad, good

@@ -226,3 +226,108 @@ class TestSignalGuard:
             assert signal_module.getsignal(
                 signal_module.SIGTERM) != before
         assert signal_module.getsignal(signal_module.SIGTERM) is before
+
+
+class TestExitCodeContract:
+    """main()'s exception→exit-code backstop, per subcommand.
+
+    The documented contract: 0 ok, 1 failed work (units, store,
+    coverage), 2 bad configuration or usage, 128+signum when
+    interrupted (130 SIGINT, 143 SIGTERM).  Each subcommand's handler
+    is stubbed to escape one taxonomy exception; the ladder in
+    ``main()`` must map it, never surface a traceback.
+    """
+
+    COMMANDS = [
+        ("_cmd_table1", ["table1"]),
+        ("_cmd_fig11", ["fig11"]),
+        ("_cmd_calibrate", ["calibrate"]),
+        ("_cmd_traces", ["traces"]),
+        ("_cmd_safety", ["safety"]),
+        ("_cmd_plan", ["plan"]),
+        ("_cmd_formats", ["formats"]),
+        ("_cmd_bench", ["bench"]),
+        ("_cmd_chaos", ["chaos"]),
+        ("_cmd_sweep", ["sweep", "--checkpoint", "ck"]),
+        ("_cmd_lint", ["lint"]),
+        ("_cmd_analyze", ["analyze"]),
+        ("_cmd_scenarios", ["scenarios"]),
+        ("_cmd_scenario", ["scenario", "s1"]),
+    ]
+
+    def escapes():
+        import signal as signal_module
+
+        from repro.galvo import CoverageError
+        from repro.orchestrator import (
+            ManifestError,
+            SweepConfigError,
+            SweepError,
+            SweepInterrupted,
+            UnitFailedError,
+            WorkUnit,
+        )
+        from repro.store import StoreError
+        unit = WorkUnit(index=0, key="deadbeef" * 8, params={})
+        return [
+            (SweepConfigError("bad spec"), 2),
+            (ManifestError("manifest mismatch"), 2),
+            (UnitFailedError([(unit, "unit died")]), 1),
+            (SweepError("sweep broke"), 1),
+            (StoreError("group torn"), 1),
+            (CoverageError("cone not covered"), 1),
+            (SweepInterrupted(signal_module.SIGINT), 130),
+            (SweepInterrupted(signal_module.SIGTERM), 143),
+            (KeyboardInterrupt(), 130),
+        ]
+
+    @pytest.mark.parametrize("handler,argv", COMMANDS)
+    @pytest.mark.parametrize(
+        "exc,expected",
+        escapes(),
+        ids=lambda case: getattr(type(case), "__name__", str(case)))
+    def test_escape_maps_to_documented_code(self, monkeypatch, capsys,
+                                            handler, argv, exc,
+                                            expected):
+        import repro.cli as cli
+
+        def boom(args):
+            raise exc
+
+        monkeypatch.setattr(cli, handler, boom)
+        assert main(argv) == expected
+        capsys.readouterr()  # the message, not a traceback
+
+
+class TestSweepExitCodes:
+    """The sweep paths behind the documented 1 and 2 codes."""
+
+    def sweep_args(self, tmp_path):
+        return ["sweep", "--kind", "demo", "--units", "2",
+                "--work", "64", "--checkpoint", str(tmp_path / "ck"),
+                "--output", str(tmp_path / "out.json")]
+
+    def test_unit_failures_exit_1(self, monkeypatch, capsys,
+                                  tmp_path):
+        from repro.orchestrator import UnitFailedError, WorkUnit
+        from repro.orchestrator.runner import SweepRunner
+
+        def failing_run(self):
+            unit = WorkUnit(index=0, key="deadbeef" * 8, params={})
+            raise UnitFailedError([(unit, "worker crashed")])
+
+        monkeypatch.setattr(SweepRunner, "run", failing_run)
+        assert main(self.sweep_args(tmp_path)) == 1
+        assert "failed" in capsys.readouterr().out
+
+    def test_config_errors_exit_2(self, monkeypatch, capsys,
+                                  tmp_path):
+        from repro.orchestrator import SweepConfigError
+        from repro.orchestrator.runner import SweepRunner
+
+        def bad_prepare(self, resume=False):
+            raise SweepConfigError("checkpoint spec mismatch")
+
+        monkeypatch.setattr(SweepRunner, "prepare", bad_prepare)
+        assert main(self.sweep_args(tmp_path)) == 2
+        assert "mismatch" in capsys.readouterr().out

@@ -199,14 +199,14 @@ def test_v2_cache_payload_is_invalidated_by_v3_loader(tmp_path):
                            cache_dir=str(cache))
     assert result.extracted > 0  # nothing was trusted from the v2 file
     rewritten = json.loads((cache / "program-index.json").read_text())
-    assert rewritten["version"] == 3
+    assert rewritten["version"] == 4
 
 
 def test_save_cache_stamps_current_schema_version(tmp_path):
     save_cache(str(tmp_path), {"files": {}})
     payload = json.loads(
         (tmp_path / "program-index.json").read_text())
-    assert payload["version"] == 3
+    assert payload["version"] == 4
     assert ARRAYS_SCHEMA_VERSION == 1
 
 
@@ -223,12 +223,14 @@ def test_profile_text_reports_families_and_cache(tmp_path):
     assert "profile: family S" in proc.stdout
     assert "profile: family Y" in proc.stdout
     assert "profile: family P" in proc.stdout
-    assert "results miss, effects miss, arrays miss" in proc.stdout
+    assert ("results miss, effects miss, arrays miss, "
+            "exceptions miss") in proc.stdout
 
     warm = run_analyze_cli(str(ARRAYS), "--cache-dir", str(cache),
                            "--select", "S,Y,P", "--warn-only",
                            "--profile")
-    assert "results hit, effects hit, arrays hit" in warm.stdout
+    assert ("results hit, effects hit, arrays hit, "
+            "exceptions hit") in warm.stdout
 
 
 def test_profile_json_payload(tmp_path):

@@ -428,6 +428,7 @@ def test_warm_cache_at_least_5x_faster(tmp_path):
     cached = json.loads((cache / "program-index.json").read_text())
     assert cached.get("effects"), "effect summaries not persisted"
     assert cached.get("arrays"), "array summaries not persisted"
+    assert cached.get("exceptions"), "escape sets not persisted"
 
     warm_s = float("inf")
     for _ in range(3):  # best-of-3 to shrug off scheduler noise
@@ -435,6 +436,7 @@ def test_warm_cache_at_least_5x_faster(tmp_path):
         warm = analyze_paths([str(SRC_REPRO)], cache_dir=str(cache))
         warm_s = min(warm_s, time.perf_counter() - started)
         assert warm.extracted == 0
+        assert warm.profile["cache"]["exceptions"] == "hit"
     assert warm_s * 5 <= cold_s, (
         f"warm re-run {warm_s:.4f}s vs cold {cold_s:.4f}s: cache "
         "no longer pays for itself")

@@ -201,3 +201,83 @@ class TestSerialFallback:
                             "ProcessPoolExecutor", BrokenPool)
         fallen_back = parallel_map(noisy_sum, seeds, workers=4)
         assert fallen_back == serial  # exact float equality, not approx
+
+
+def square_row(x):
+    """Row fn for the array transport tests below."""
+    return {"y": float(x * x)}
+
+
+class TestPooledCleanup:
+    """The shm teardown in ``_fill_pooled`` catches only OSError now
+    (a crashed worker's atexit hooks racing the parent's cleanup);
+    anything else must propagate.  This pins the tolerated path."""
+
+    def test_cleanup_survives_already_unlinked_blocks(self, monkeypatch):
+        import numpy as np
+
+        from repro import parallel as par
+
+        created = []
+        real_create = par._create_shm
+
+        def recording_create(name, array):
+            handle, record = real_create(name, array)
+            created.append(record[0])
+            return handle, record
+
+        monkeypatch.setattr(par, "_create_shm", recording_create)
+
+        class EagerUnlinkPool:
+            """In-process stand-in whose teardown unlinks the shared
+            blocks before the parent's own cleanup gets to them."""
+
+            def __init__(self, max_workers=None):
+                pass
+
+            def __enter__(self):
+                return self
+
+            def map(self, fn, *iterables):
+                return list(map(fn, *iterables))
+
+            def __exit__(self, *exc):
+                for block in created:
+                    block.unlink()
+                return False
+
+        monkeypatch.setattr(concurrent.futures,
+                            "ProcessPoolExecutor", EagerUnlinkPool)
+        items = list(range(8))
+        outputs = par._allocate_outputs(
+            len(items), {"y": ((), np.float64)})
+        # Direct call: parallel_map_arrays would mask a cleanup crash
+        # behind its serial fallback, and this must NOT fall back.
+        par._fill_pooled(square_row, items, outputs, workers=2,
+                         chunk_size=None, batched=False)
+        assert created, "shared blocks were never allocated"
+        assert outputs["y"].tolist() == [float(x * x) for x in items]
+
+
+class TestPendingCallChildPipeGone:
+    """``_pending_call_child`` swallows only BrokenPipeError/OSError
+    when the parent vanished; run the body in-process against a pipe
+    whose read end is already closed to pin both report paths."""
+
+    def test_result_send_to_dead_parent_is_swallowed(self):
+        from multiprocessing import Pipe
+
+        from repro.parallel import _pending_call_child
+
+        recv, child = Pipe(duplex=False)
+        recv.close()
+        _pending_call_child(child, square, 3)  # must not raise
+
+    def test_error_report_to_dead_parent_is_swallowed(self):
+        from multiprocessing import Pipe
+
+        from repro.parallel import _pending_call_child
+
+        recv, child = Pipe(duplex=False)
+        recv.close()
+        _pending_call_child(child, explode, 3)  # must not raise

@@ -178,6 +178,22 @@ class TestCorruptionSurfacesStoreError:
         with pytest.raises(KeyError):
             store.read_group("never-written")
 
+    def test_unpublishable_group_raises_store_error(self, store):
+        # A stray *file* squatting where the group directory belongs
+        # makes the atomic publish fail partway through; the OSError
+        # must surface as StoreError (the type resume logic catches)
+        # and the staging dir must not leak.
+        (store.root / "traces").write_bytes(b"not a directory")
+        with pytest.raises(StoreError, match="could not publish"):
+            store.write_group("traces", demo_columns())
+        assert not (store.root / ".traces.tmp").exists()
+
+    def test_bad_column_name_still_valueerror(self, store):
+        # Name validation happens before any disk work, so the
+        # pre-publish contract (plain ValueError) is unchanged.
+        with pytest.raises(ValueError):
+            store.write_group("traces", {"bad name": demo_columns()["values"]})
+
 
 class TestVacuum:
     def test_reaps_orphaned_tmp_dirs(self, store):
